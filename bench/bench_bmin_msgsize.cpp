@@ -1,0 +1,48 @@
+// E5a — Section 5 BMIN paragraph: the Figure-2 analogue on the 128-node
+// BMIN (2x2 bidirectional switches, turnaround routing): U-Min vs
+// OPT-Tree vs OPT-Min, 32-node multicast, latency vs message size.
+// The OPT-Tree series is run under both the deterministic and the
+// adaptive up-routing policy to quantify the paper's remark that the
+// BMIN's extra paths soften contention.
+#include "bench/common.hpp"
+#include "bmin/bmin_topology.hpp"
+
+using namespace pcm;
+using namespace pcm::benchx;
+
+int main() {
+  const auto det = bmin::make_bmin(128, bmin::UpPolicy::kSourceAddress);
+  const auto ada = bmin::make_bmin(128, bmin::UpPolicy::kAdaptive);
+  rt::RuntimeConfig cfg;
+  rt::MulticastRuntime rtm(cfg);
+
+  print_preamble("E5a: 32-node multicast on 128-node BMIN, latency vs message size",
+                 cfg, 4096, kPaperReps);
+
+  analysis::Table t({"size", "U-Min", "OPT-Tree", "OPT-Tree(ada)", "OPT-Min",
+                     "OT confl", "OT confl(ada)", "U/OPT-Min"});
+  for (Bytes size = 0; size <= 65536; size += 8192) {
+    const auto placements = analysis::sample_placements(kSeed, 128, 32, kPaperReps);
+    const Point u = run_point(*det, nullptr, rtm, McastAlgorithm::kUMin, placements, size);
+    const Point ot =
+        run_point(*det, nullptr, rtm, McastAlgorithm::kOptTree, placements, size);
+    const Point ota =
+        run_point(*ada, nullptr, rtm, McastAlgorithm::kOptTree, placements, size);
+    const Point om =
+        run_point(*det, nullptr, rtm, McastAlgorithm::kOptMin, placements, size);
+    t.add_row({size_label(size), analysis::Table::num(u.latency.mean, 0),
+               analysis::Table::num(ot.latency.mean, 0),
+               analysis::Table::num(ota.latency.mean, 0),
+               analysis::Table::num(om.latency.mean, 0),
+               analysis::Table::num(ot.mean_conflicts, 0),
+               analysis::Table::num(ota.mean_conflicts, 0),
+               analysis::Table::num(u.latency.mean / om.latency.mean, 2)});
+  }
+  t.print("BMIN, latency vs message size (cycles)", "bmin_msgsize.csv");
+
+  std::cout << "\nExpectation (paper): ordering as on the mesh (OPT-Min < "
+               "OPT-Tree < U-Min) but the OPT-Tree contention overhead is "
+               "less severe than on the mesh; adaptive up-routing reduces it "
+               "further (more paths between node pairs).\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// E10 — Section 6 extension: software multicast on a unidirectional
+// butterfly MIN, where no contention-free node ordering exists.  Compares
+// the untuned OPT tree (caller order), the lexicographic chain, and the
+// temporal-ordering heuristic (local search minimizing predicted
+// channel-window overlaps), plus the binomial baseline.
+#include "bench/common.hpp"
+#include "butterfly/butterfly_topology.hpp"
+#include "butterfly/temporal_order.hpp"
+
+using namespace pcm;
+using namespace pcm::benchx;
+
+int main() {
+  const auto topo = butterfly::make_butterfly(64);
+  rt::RuntimeConfig cfg;
+  rt::MulticastRuntime rtm(cfg);
+  const Bytes size = 4096;
+  const TwoParam tp = cfg.machine.two_param(rtm.wire_bytes(size, 1));
+
+  print_preamble("E10: 4 KB multicast on a 64-node unidirectional butterfly "
+                 "(no contention-free partition exists)",
+                 cfg, size, kPaperReps);
+
+  analysis::Table t({"nodes", "Binomial(lex)", "OPT(caller)", "OPT(lex)",
+                     "OPT(temporal)", "blk caller", "blk lex", "blk temporal"});
+  for (int k : {8, 16, 24, 32, 48, 64}) {
+    const auto placements = analysis::sample_placements(kSeed + k, 64, k, kPaperReps);
+    const SplitTable opt = opt_split_table(tp.t_hold, tp.t_end, k);
+    const SplitTable bin = binomial_split_table(tp.t_hold, tp.t_end, k);
+
+    double lat_bin = 0, lat_caller = 0, lat_lex = 0, lat_temporal = 0;
+    double blk_caller = 0, blk_lex = 0, blk_temporal = 0;
+    for (const auto& p : placements) {
+      auto run_chain = [&](const Chain& chain, const SplitTable& table,
+                           double& lat, double* blk) {
+        sim::Simulator sim(*topo);
+        const auto res = rtm.run(sim, build_chain_split_tree(chain, table), size);
+        lat += static_cast<double>(res.latency);
+        if (blk != nullptr) *blk += static_cast<double>(res.channel_conflicts);
+      };
+      run_chain(make_chain(p.source, p.dests, ChainOrder::kLexicographic), bin,
+                lat_bin, nullptr);
+      run_chain(make_chain(p.source, p.dests, ChainOrder::kAsGiven), opt,
+                lat_caller, &blk_caller);
+      run_chain(make_chain(p.source, p.dests, ChainOrder::kLexicographic), opt,
+                lat_lex, &blk_lex);
+      butterfly::TemporalOrderOptions opts;
+      opts.budget = 250;
+      opts.seed = kSeed;
+      const auto tuned = butterfly::temporal_order(p.source, p.dests, *topo, tp, opts);
+      run_chain(tuned.chain, opt, lat_temporal, &blk_temporal);
+    }
+    const double n = static_cast<double>(placements.size());
+    t.add_row({std::to_string(k), analysis::Table::num(lat_bin / n, 0),
+               analysis::Table::num(lat_caller / n, 0),
+               analysis::Table::num(lat_lex / n, 0),
+               analysis::Table::num(lat_temporal / n, 0),
+               analysis::Table::num(blk_caller / n, 0),
+               analysis::Table::num(blk_lex / n, 0),
+               analysis::Table::num(blk_temporal / n, 0)});
+  }
+  t.print("Butterfly, 4 KB latency vs nodes (cycles)", "butterfly_temporal.csv");
+
+  std::cout << "\nExpectation (paper Sec. 6): contention cannot be eliminated "
+               "on the butterfly, but temporal ordering cuts blocked cycles "
+               "versus naive orderings, narrowing the gap to the model "
+               "bound.\n";
+  return 0;
+}

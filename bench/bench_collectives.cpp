@@ -1,0 +1,70 @@
+// E13 — Collectives beyond the paper: reduction (reverse multicast) and
+// barrier on the tuned trees.
+//
+// Dimension-ordered routing is asymmetric (reverse of an XY path is a YX
+// path), so Theorem 1 does not transfer to the upward direction; this
+// bench quantifies how much contention the reversed trees actually see
+// and how reduce/barrier latency compares to the multicast bound.
+#include "bench/common.hpp"
+#include "bmin/bmin_topology.hpp"
+#include "mesh/mesh_topology.hpp"
+#include "runtime/collectives.hpp"
+
+using namespace pcm;
+using namespace pcm::benchx;
+
+namespace {
+
+void sweep(const sim::Topology& topo, const MeshShape* shape, McastAlgorithm alg,
+           const std::string& title, const std::string& csv) {
+  rt::RuntimeConfig cfg;
+  rt::CollectiveRuntime coll(cfg);
+  const Bytes payload = 4096;
+  analysis::Table t({"nodes", "multicast", "reduce", "reduce blk", "barrier",
+                     "reduce/model"});
+  for (int k : {8, 16, 32, 64, 128}) {
+    if (k > topo.num_nodes()) break;
+    const auto placements =
+        analysis::sample_placements(kSeed + k, topo.num_nodes(), k, kPaperReps);
+    double mcast = 0, reduce = 0, blk = 0, barrier = 0, model = 0;
+    for (const auto& p : placements) {
+      const TwoParam tp = cfg.machine.two_param(
+          coll.multicast().wire_bytes(payload, 1));
+      const MulticastTree tree = build_multicast(alg, p.source, p.dests, tp, shape);
+      sim::Simulator s1(topo), s2(topo), s3(topo);
+      mcast += static_cast<double>(coll.multicast().run(s1, tree, payload).latency);
+      const rt::ReduceResult r = coll.run_reduce(s2, tree, payload);
+      reduce += static_cast<double>(r.latency);
+      blk += static_cast<double>(r.channel_conflicts);
+      model += static_cast<double>(r.model_latency);
+      barrier += static_cast<double>(coll.run_barrier(s3, tree, payload).latency);
+    }
+    const double n = static_cast<double>(placements.size());
+    t.add_row({std::to_string(k), analysis::Table::num(mcast / n, 0),
+               analysis::Table::num(reduce / n, 0), analysis::Table::num(blk / n, 0),
+               analysis::Table::num(barrier / n, 0),
+               analysis::Table::num(reduce / model, 3)});
+  }
+  t.print(title, csv);
+}
+
+}  // namespace
+
+int main() {
+  rt::RuntimeConfig cfg;
+  print_preamble("E13: reduction and barrier over tuned trees (4 KB partials)",
+                 cfg, 4096, kPaperReps);
+
+  const auto mesh_topo = mesh::make_mesh2d(16);
+  sweep(*mesh_topo, &mesh_topo->shape(), McastAlgorithm::kOptMesh,
+        "16x16 mesh, OPT-mesh trees", "collectives_mesh.csv");
+
+  const auto bmin_topo = bmin::make_bmin(128);
+  sweep(*bmin_topo, nullptr, McastAlgorithm::kOptMin, "128-node BMIN, OPT-min trees",
+        "collectives_bmin.csv");
+
+  std::cout << "\nExpectation: reduce tracks the multicast bound but may show "
+               "nonzero blocked cycles on the mesh (reversed XY paths are YX "
+               "paths, outside Theorem 1); barrier ~ reduce + multicast.\n";
+  return 0;
+}

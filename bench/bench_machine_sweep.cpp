@@ -1,0 +1,51 @@
+// E12 — Machine-parameter sweep on the flit simulator.
+//
+// The ratio ablation (E7) is model-level; this bench varies the *machine*
+// (extra per-send gap, i.e. slower messaging software) and measures the
+// tuned algorithms on the real 16x16 mesh simulator.  As hold_gap grows,
+// t_hold/t_end -> 1 and U-Mesh converges to OPT-Mesh — the paper's
+// explanation of when binomial trees are good enough.
+#include "bench/common.hpp"
+#include "mesh/mesh_topology.hpp"
+
+using namespace pcm;
+using namespace pcm::benchx;
+
+int main() {
+  const auto topo = mesh::make_mesh2d(16);
+  const MeshShape* shape = &topo->shape();
+  const Bytes size = 4096;
+
+  std::cout << "E12: machine sweep — extra software gap per send (hold_gap), "
+               "32-node multicast, 4 KB, 16x16 mesh\n";
+
+  analysis::Table t({"hold_gap", "t_hold/t_end", "U-Mesh", "OPT-Mesh", "U/OPT",
+                     "OPT depth"});
+  for (Time gap : {0L, 200L, 400L, 800L, 1600L, 3200L}) {
+    rt::RuntimeConfig cfg;
+    cfg.machine.hold_gap = gap;
+    rt::MulticastRuntime rtm(cfg);
+    const TwoParam tp = cfg.machine.two_param(rtm.wire_bytes(size, 1));
+    // Cap t_hold at t_end (the model's validity domain).
+    if (tp.t_hold > tp.t_end) break;
+    const auto placements = analysis::sample_placements(kSeed, 256, 32, kPaperReps);
+    const Point u = run_point(*topo, shape, rtm, McastAlgorithm::kUMesh, placements, size);
+    const Point om =
+        run_point(*topo, shape, rtm, McastAlgorithm::kOptMesh, placements, size);
+    const MulticastTree tree = build_multicast(
+        McastAlgorithm::kOptMesh, placements[0].source, placements[0].dests, tp, shape);
+    t.add_row({std::to_string(gap),
+               analysis::Table::num(static_cast<double>(tp.t_hold) /
+                                        static_cast<double>(tp.t_end), 2),
+               analysis::Table::num(u.latency.mean, 0),
+               analysis::Table::num(om.latency.mean, 0),
+               analysis::Table::num(u.latency.mean / om.latency.mean, 2),
+               std::to_string(tree_depth(tree))});
+  }
+  t.print("Machine sweep (latency, cycles)", "machine_sweep.csv");
+
+  std::cout << "\nExpectation: U/OPT shrinks toward 1.0 as t_hold/t_end "
+               "approaches 1 (binomial trees are optimal exactly there), and "
+               "the OPT tree deepens accordingly.\n";
+  return 0;
+}

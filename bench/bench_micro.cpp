@@ -1,0 +1,112 @@
+// E9 — Engineering microbenchmarks (google-benchmark): costs of the
+// building blocks — the O(k) DP, tree expansion, chain sorting, path
+// tracing, and raw simulator throughput.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "analysis/sampling.hpp"
+#include "bmin/bmin_topology.hpp"
+#include "core/algorithms.hpp"
+#include "mesh/mesh_topology.hpp"
+#include "runtime/mcast_runtime.hpp"
+
+namespace {
+
+using namespace pcm;
+
+void BM_OptSplitTable(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(opt_split_table(400, 1500, k));
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_OptSplitTable)->Range(16, 1 << 14)->Complexity(benchmark::oN);
+
+void BM_OptSplitTableExhaustive(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(opt_split_table_exhaustive(400, 1500, k));
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_OptSplitTableExhaustive)->Range(16, 1 << 10)->Complexity(benchmark::oNSquared);
+
+void BM_BuildChainSplitTree(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const SplitTable table = opt_split_table(400, 1500, k);
+  Chain chain;
+  chain.nodes.resize(k);
+  std::iota(chain.nodes.begin(), chain.nodes.end(), 0);
+  chain.source_pos = k / 2;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(build_chain_split_tree(chain, table));
+}
+BENCHMARK(BM_BuildChainSplitTree)->Range(16, 1 << 12);
+
+void BM_DimensionOrderedChain(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const MeshShape shape = MeshShape::square2d(64);  // 4096 nodes
+  analysis::Rng rng(7);
+  const analysis::Placement p =
+      analysis::sample_placement(rng, shape.num_nodes(), k);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        make_chain(p.source, p.dests, ChainOrder::kDimensionOrdered, &shape));
+}
+BENCHMARK(BM_DimensionOrderedChain)->Range(16, 1 << 12);
+
+void BM_TracePathMesh(benchmark::State& state) {
+  const auto topo = mesh::make_mesh2d(16);
+  NodeId d = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::trace_path(*topo, 0, d));
+    d = (d % 255) + 1;
+  }
+}
+BENCHMARK(BM_TracePathMesh);
+
+void BM_TracePathBmin(benchmark::State& state) {
+  const auto topo = bmin::make_bmin(128);
+  NodeId d = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::trace_path(*topo, 0, d));
+    d = (d % 127) + 1;
+  }
+}
+BENCHMARK(BM_TracePathBmin);
+
+void BM_SimulatorMulticast(benchmark::State& state) {
+  // Full 32-node 4 KB OPT-mesh multicast on the 16x16 mesh; reports
+  // simulated cycles per wall second.
+  const auto topo = mesh::make_mesh2d(16);
+  rt::MulticastRuntime rtm(rt::RuntimeConfig{});
+  const auto placements = analysis::sample_placements(3, 256, 32, 1);
+  long long cycles = 0;
+  for (auto _ : state) {
+    sim::Simulator sim(*topo);
+    const auto res = rtm.run_algorithm(sim, McastAlgorithm::kOptMesh,
+                                       placements[0].source, placements[0].dests,
+                                       4096, &topo->shape());
+    benchmark::DoNotOptimize(res.latency);
+    cycles += sim.stats().cycles;
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorMulticast)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorContendedMulticast(benchmark::State& state) {
+  const auto topo = mesh::make_mesh2d(16);
+  rt::MulticastRuntime rtm(rt::RuntimeConfig{});
+  const auto placements = analysis::sample_placements(3, 256, 32, 1);
+  for (auto _ : state) {
+    sim::Simulator sim(*topo);
+    benchmark::DoNotOptimize(
+        rtm.run_algorithm(sim, McastAlgorithm::kOptTree, placements[0].source,
+                          placements[0].dests, 4096, &topo->shape())
+            .latency);
+  }
+}
+BENCHMARK(BM_SimulatorContendedMulticast)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,49 @@
+// E7 — Ablation over the t_hold/t_end ratio (model level).
+//
+// Section 1's claim: the binomial tree "may not be optimal in most
+// systems" — it is optimal exactly when t_hold = t_end, while the
+// sequential tree wins as t_hold/t_end -> 0.  This bench sweeps the
+// ratio and reports the model latencies of the three split rules plus
+// the OPT tree's advantage, locating both crossovers.
+#include "bench/common.hpp"
+
+using namespace pcm;
+using namespace pcm::benchx;
+
+int main() {
+  const Time t_end = 1000;
+  std::cout << "E7: OPT vs binomial vs sequential trees across t_hold/t_end "
+               "(model latencies, t_end = "
+            << t_end << ")\n";
+
+  for (int k : {8, 32, 128}) {
+    analysis::Table t({"t_hold/t_end", "Sequential", "Binomial", "OPT",
+                       "OPT gain vs binom %", "OPT depth", "OPT max fanout"});
+    for (int pct : {0, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}) {
+      const Time t_hold = t_end * pct / 100;
+      const SplitTable opt = opt_split_table(t_hold, t_end, k);
+      const SplitTable bin = binomial_split_table(t_hold, t_end, k);
+      const SplitTable seq = sequential_split_table(t_hold, t_end, k);
+      Chain chain;
+      chain.nodes.resize(k);
+      for (int i = 0; i < k; ++i) chain.nodes[i] = i;
+      chain.source_pos = 0;
+      const MulticastTree ot = build_chain_split_tree(chain, opt);
+      t.add_row({analysis::Table::num(pct / 100.0, 2), std::to_string(seq.latency(k)),
+                 std::to_string(bin.latency(k)), std::to_string(opt.latency(k)),
+                 analysis::Table::num(
+                     100.0 * (1.0 - static_cast<double>(opt.latency(k)) /
+                                        static_cast<double>(bin.latency(k))),
+                     1),
+                 std::to_string(tree_depth(ot)), std::to_string(max_fanout(ot))});
+    }
+    t.print("k = " + std::to_string(k),
+            "ratio_ablation_k" + std::to_string(k) + ".csv");
+  }
+
+  std::cout << "\nExpectation: OPT == Sequential at ratio 0, OPT == Binomial "
+               "at ratio 1, and strictly better than both in between; the "
+               "OPT tree morphs from a flat star (depth 1) toward the "
+               "binomial shape as the ratio grows.\n";
+  return 0;
+}

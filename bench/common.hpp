@@ -1,0 +1,71 @@
+// Shared harness for the per-figure bench binaries.
+//
+// Every bench follows the paper's method (Sec. 5): a data point is the
+// mean multicast latency over `reps` independent random placements (the
+// paper uses 16) with identical parameters; the same seeded placements
+// are reused across algorithms so series are paired.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/sampling.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "core/algorithms.hpp"
+#include "runtime/mcast_runtime.hpp"
+#include "sim/simulator.hpp"
+
+namespace pcm::benchx {
+
+inline constexpr int kPaperReps = 16;
+inline constexpr std::uint64_t kSeed = 1997;
+
+/// One measured data point.
+struct Point {
+  analysis::Stats latency;      ///< simulated multicast latency (cycles)
+  analysis::Stats model;        ///< contention-free model bound (cycles)
+  double mean_conflicts = 0;    ///< mean head-blocked cycles per run
+};
+
+/// Runs `alg` over the given placements and summarizes.
+inline Point run_point(const sim::Topology& topo, const MeshShape* shape,
+                       const rt::MulticastRuntime& rtm, McastAlgorithm alg,
+                       const std::vector<analysis::Placement>& placements,
+                       Bytes payload) {
+  std::vector<double> lat, model;
+  double conflicts = 0;
+  for (const auto& p : placements) {
+    sim::Simulator sim(topo);
+    const rt::McastResult res =
+        rtm.run_algorithm(sim, alg, p.source, p.dests, payload, shape);
+    lat.push_back(static_cast<double>(res.latency));
+    model.push_back(static_cast<double>(res.model_latency));
+    conflicts += static_cast<double>(res.channel_conflicts);
+  }
+  Point pt;
+  pt.latency = analysis::summarize(lat);
+  pt.model = analysis::summarize(model);
+  pt.mean_conflicts = conflicts / static_cast<double>(placements.size());
+  return pt;
+}
+
+/// Prints the experiment preamble: machine parameters at a reference
+/// message size, so every output records its configuration.
+inline void print_preamble(const std::string& what, const rt::RuntimeConfig& cfg,
+                           Bytes ref_bytes, int reps) {
+  std::cout << what << "\n"
+            << "machine: " << describe(cfg.machine, ref_bytes) << "\n"
+            << "reps/point: " << reps << " random placements (seed " << kSeed
+            << "), wormhole flit-level simulation\n";
+}
+
+/// The paper reports message sizes as "0k, 8k, ..., 64k".
+inline std::string size_label(Bytes b) {
+  if (b % 1024 == 0) return std::to_string(b / 1024) + "k";
+  return std::to_string(b);
+}
+
+}  // namespace pcm::benchx

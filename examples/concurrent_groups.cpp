@@ -1,0 +1,56 @@
+// Concurrent collectives: several multicast groups sharing one mesh, as a
+// collective-communication layer would issue them.  Shows per-group
+// latency, cross-group interference, and a channel-utilization heatmap.
+#include <iostream>
+
+#include "analysis/sampling.hpp"
+#include "analysis/trace.hpp"
+#include "analysis/viz.hpp"
+#include "mesh/mesh_topology.hpp"
+#include "runtime/mcast_runtime.hpp"
+
+int main() {
+  using namespace pcm;
+
+  const auto topo = mesh::make_mesh2d(16);
+  const MeshShape& shape = topo->shape();
+  rt::RuntimeConfig cfg;
+  rt::MulticastRuntime runtime(cfg);
+  const Bytes payload = 4096;
+  const int k = 16;
+  const int groups = 4;
+  const TwoParam tp = cfg.machine.two_param(runtime.wire_bytes(payload, 1));
+
+  std::cout << "Concurrent-groups example: " << groups << " simultaneous " << k
+            << "-node OPT-mesh multicasts on a 16x16 mesh\n"
+            << "machine: " << describe(cfg.machine, payload) << "\n\n";
+
+  analysis::Rng rng(11);
+  std::vector<rt::MulticastRuntime::GroupRun> work;
+  for (int g = 0; g < groups; ++g) {
+    const auto p = analysis::sample_placement(rng, 256, k);
+    rt::MulticastRuntime::GroupRun gr;
+    gr.tree = build_multicast(McastAlgorithm::kOptMesh, p.source, p.dests, tp, &shape);
+    gr.payload = payload;
+    work.push_back(std::move(gr));
+  }
+
+  sim::Simulator sim(*topo);
+  analysis::ChannelTraceRecorder trace(*topo);
+  sim.set_observer(&trace);
+  const auto results = runtime.run_concurrent(sim, std::move(work));
+
+  for (size_t g = 0; g < results.size(); ++g) {
+    const auto& r = results[g];
+    std::cout << "group " << g << ": latency " << r.latency << " cycles (solo bound "
+              << r.model_latency << ", x"
+              << static_cast<double>(r.latency) / static_cast<double>(r.model_latency)
+              << "), blocked " << r.channel_conflicts << " cycles\n";
+  }
+
+  std::cout << "\n" << analysis::mesh_heatmap(*topo, trace, sim.now())
+            << "\nReading: each group alone would be contention-free "
+               "(Theorem 1), but groups interfere with each other — the "
+               "blocked cycles above are entirely cross-group.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// SP-class scenario: collective distribution on a 128-node bidirectional
+// MIN (2x2 switches, turnaround routing).  Shows OPT-min against U-min
+// across message sizes and the effect of the switch's up-routing policy
+// on the untuned tree.
+#include <iostream>
+#include <vector>
+
+#include "analysis/sampling.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "bmin/bmin_topology.hpp"
+#include "runtime/mcast_runtime.hpp"
+
+int main() {
+  using namespace pcm;
+
+  const auto det = bmin::make_bmin(128, bmin::UpPolicy::kSourceAddress);
+  const auto ada = bmin::make_bmin(128, bmin::UpPolicy::kAdaptive);
+  rt::RuntimeConfig cfg;
+  rt::MulticastRuntime runtime(cfg);
+  const int group = 48;
+  const int reps = 16;
+
+  std::cout << "SP-class example: multicast to a " << group
+            << "-node partition of a 128-node BMIN\n"
+            << "machine: " << describe(cfg.machine, 8192) << "\n\n";
+
+  analysis::Table table({"size", "U-Min", "OPT-Min", "speedup", "OPT-Tree det",
+                         "OPT-Tree adaptive"});
+  for (Bytes size : {512LL, 2048LL, 8192LL, 32768LL}) {
+    const auto placements = analysis::sample_placements(7, 128, group, reps);
+    auto mean = [&](const sim::Topology& topo, McastAlgorithm alg) {
+      std::vector<double> lat;
+      for (const auto& p : placements) {
+        sim::Simulator sim(topo);
+        lat.push_back(static_cast<double>(
+            runtime.run_algorithm(sim, alg, p.source, p.dests, size).latency));
+      }
+      return analysis::summarize(lat).mean;
+    };
+    const double umin = mean(*det, McastAlgorithm::kUMin);
+    const double optmin = mean(*det, McastAlgorithm::kOptMin);
+    table.add_row({std::to_string(size), analysis::Table::num(umin, 0),
+                   analysis::Table::num(optmin, 0),
+                   analysis::Table::num(umin / optmin, 2) + "x",
+                   analysis::Table::num(mean(*det, McastAlgorithm::kOptTree), 0),
+                   analysis::Table::num(mean(*ada, McastAlgorithm::kOptTree), 0)});
+  }
+  table.print(std::to_string(group) + "-node multicast latency (cycles, " +
+              std::to_string(reps) + " placements)");
+
+  std::cout << "\nReading: OPT-Min's node ordering removes the contention "
+               "that the untuned OPT-Tree pays; adaptive up-routing (the "
+               "BMIN's extra paths) recovers part of that loss without any "
+               "software tuning.\n";
+  return 0;
+}

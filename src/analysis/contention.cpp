@@ -1,0 +1,101 @@
+#include "analysis/contention.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+namespace pcm::analysis {
+namespace {
+
+struct TimedSend {
+  Time issue;  ///< send operation start
+  Time done;   ///< receiver finishes receiving (issue + t_end)
+};
+
+// Mirrors model_finish_times but records every send's issue time.
+std::vector<TimedSend> timeline(const MulticastTree& tree, TwoParam tp) {
+  std::vector<TimedSend> times(tree.sends.size());
+  std::function<void(int, Time)> visit = [&](int pos, Time t0) {
+    Time issue = t0;
+    for (int idx : tree.out[pos]) {
+      const SendEvent& ev = tree.sends[idx];
+      times[idx] = TimedSend{issue, issue + tp.t_end};
+      visit(ev.receiver_pos, issue + tp.t_end);
+      issue += tp.t_hold;
+    }
+  };
+  visit(tree.chain.source_pos, 0);
+  return times;
+}
+
+}  // namespace
+
+ConflictReport model_conflicts(const MulticastTree& tree, const sim::Topology& topo,
+                               TwoParam tp) {
+  return model_conflicts(tree, topo, tp, ChannelHold{tp.t_hold, 1});
+}
+
+ConflictReport model_conflicts(const MulticastTree& tree, const sim::Topology& topo,
+                               TwoParam tp, ChannelHold hold) {
+  const std::vector<TimedSend> times = timeline(tree, tp);
+  // (channel, hop index) per send, channels sorted for the merge below.
+  struct Hop {
+    sim::ChannelId ch;
+    Time offset;  ///< head arrival offset from issue
+  };
+  std::vector<std::vector<Hop>> paths(tree.sends.size());
+  for (size_t i = 0; i < tree.sends.size(); ++i) {
+    const SendEvent& ev = tree.sends[i];
+    const auto chs =
+        sim::trace_path(topo, tree.node(ev.sender_pos), tree.node(ev.receiver_pos));
+    paths[i].reserve(chs.size());
+    for (size_t h = 0; h < chs.size(); ++h)
+      paths[i].push_back(Hop{chs[h], static_cast<Time>(h) * hold.per_hop});
+    std::sort(paths[i].begin(), paths[i].end(),
+              [](const Hop& a, const Hop& b) { return a.ch < b.ch; });
+  }
+
+  ConflictReport report;
+  for (size_t a = 0; a < tree.sends.size(); ++a) {
+    for (size_t b = a + 1; b < tree.sends.size(); ++b) {
+      // Shared channel with overlapping half-open hold windows
+      // [issue + offset, issue + offset + occupancy)?
+      size_t x = 0, y = 0;
+      while (x < paths[a].size() && y < paths[b].size()) {
+        if (paths[a][x].ch == paths[b][y].ch) {
+          const Time sa = times[a].issue + paths[a][x].offset;
+          const Time sb = times[b].issue + paths[b][y].offset;
+          if (sa < sb + hold.occupancy && sb < sa + hold.occupancy) {
+            report.pairs.push_back(
+                ConflictPair{static_cast<int>(a), static_cast<int>(b), paths[a][x].ch});
+            break;
+          }
+          ++x;
+          ++y;
+        } else if (paths[a][x].ch < paths[b][y].ch) {
+          ++x;
+        } else {
+          ++y;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+std::string ConflictReport::describe(const MulticastTree& tree,
+                                     const sim::Topology& topo) const {
+  std::ostringstream os;
+  os << pairs.size() << " conflicting send pair(s)";
+  for (size_t i = 0; i < pairs.size() && i < 8; ++i) {
+    const ConflictPair& p = pairs[i];
+    const SendEvent& a = tree.sends[p.send_a];
+    const SendEvent& b = tree.sends[p.send_b];
+    os << "\n  " << tree.node(a.sender_pos) << "->" << tree.node(a.receiver_pos)
+       << " vs " << tree.node(b.sender_pos) << "->" << tree.node(b.receiver_pos)
+       << " on " << topo.channel_name(p.channel / topo.radix(), p.channel % topo.radix());
+  }
+  return os.str();
+}
+
+}  // namespace pcm::analysis

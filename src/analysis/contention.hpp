@@ -1,0 +1,54 @@
+// Model-level contention analysis: decides, without running the flit
+// simulator, whether two unicasts of a multicast schedule could ever hold
+// a common channel at the same time.  This is the analytical counterpart
+// of the paper's Theorems 1 and 2 — the property tests check both this
+// predicate and the flit-level conflict counter agree.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/multicast_tree.hpp"
+#include "sim/topology.hpp"
+
+namespace pcm::analysis {
+
+struct ConflictPair {
+  int send_a;  ///< index into MulticastTree::sends
+  int send_b;
+  sim::ChannelId channel;  ///< one shared channel (first found)
+};
+
+struct ConflictReport {
+  std::vector<ConflictPair> pairs;
+  [[nodiscard]] bool contention_free() const { return pairs.empty(); }
+  [[nodiscard]] std::string describe(const MulticastTree& tree,
+                                     const sim::Topology& topo) const;
+};
+
+/// How long one message holds one channel, for the analytical overlap
+/// test.  A wormhole message occupies the i-th channel of its path for
+/// about `occupancy` cycles (serialization time) starting `per_hop * i`
+/// cycles after its head enters the network.
+struct ChannelHold {
+  Time occupancy;     ///< cycles a message holds each channel
+  Time per_hop = 1;   ///< head offset per hop along the path
+};
+
+/// Uses the ideal-model send timeline (sends spaced t_hold apart, each
+/// delivered t_end after issue) and the topology's deterministic paths
+/// (first routing candidate).  Two sends conflict if they share a channel
+/// whose per-channel hold windows overlap.  With the default hold
+/// (occupancy = t_hold, which upper-bounds serialization on any machine
+/// where consecutive sends do not outrun the wire), consecutive sends
+/// from one source are correctly *not* flagged: they reuse channels
+/// strictly serially.  Ejection channels are included — one-port
+/// consumption contention is real contention.
+ConflictReport model_conflicts(const MulticastTree& tree, const sim::Topology& topo,
+                               TwoParam tp);
+ConflictReport model_conflicts(const MulticastTree& tree, const sim::Topology& topo,
+                               TwoParam tp, ChannelHold hold);
+
+}  // namespace pcm::analysis

@@ -1,0 +1,40 @@
+// Small deterministic RNG (splitmix64) so experiments are reproducible
+// across platforms and standard-library versions (std::shuffle and
+// std::uniform_int_distribution are not portable across vendors).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pcm::analysis {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound) — bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i)
+      std::swap(v[i - 1], v[below(i)]);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace pcm::analysis

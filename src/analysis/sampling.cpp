@@ -1,0 +1,33 @@
+#include "analysis/sampling.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace pcm::analysis {
+
+Placement sample_placement(Rng& rng, int num_nodes, int k) {
+  if (k < 2 || k > num_nodes)
+    throw std::invalid_argument("sample_placement: need 2 <= k <= num_nodes");
+  // Partial Fisher-Yates over the node id range.
+  std::vector<NodeId> ids(num_nodes);
+  std::iota(ids.begin(), ids.end(), 0);
+  for (int i = 0; i < k; ++i) {
+    const int j = i + static_cast<int>(rng.below(num_nodes - i));
+    std::swap(ids[i], ids[j]);
+  }
+  Placement p;
+  p.source = ids[0];
+  p.dests.assign(ids.begin() + 1, ids.begin() + k);
+  return p;
+}
+
+std::vector<Placement> sample_placements(std::uint64_t seed, int num_nodes, int k,
+                                         int reps) {
+  Rng rng(seed);
+  std::vector<Placement> out;
+  out.reserve(reps);
+  for (int r = 0; r < reps; ++r) out.push_back(sample_placement(rng, num_nodes, k));
+  return out;
+}
+
+}  // namespace pcm::analysis

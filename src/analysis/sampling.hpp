@@ -1,0 +1,25 @@
+// Random multicast placements: the paper picks processor locations
+// uniformly at random and repeats each experiment 16 times.
+#pragma once
+
+#include <vector>
+
+#include "analysis/rng.hpp"
+#include "core/types.hpp"
+
+namespace pcm::analysis {
+
+/// Picks a source and `k - 1` distinct destinations uniformly from
+/// [0, num_nodes).  k must satisfy 2 <= k <= num_nodes.
+struct Placement {
+  NodeId source;
+  std::vector<NodeId> dests;
+};
+
+Placement sample_placement(Rng& rng, int num_nodes, int k);
+
+/// `reps` independent placements (the paper's 16 experiments).
+std::vector<Placement> sample_placements(std::uint64_t seed, int num_nodes, int k,
+                                         int reps);
+
+}  // namespace pcm::analysis

@@ -1,0 +1,26 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pcm::analysis {
+
+Stats summarize(std::span<const double> xs) {
+  Stats s;
+  s.n = static_cast<int>(xs.size());
+  if (s.n == 0) return s;
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  double sum = 0;
+  for (double x : xs) sum += x;
+  s.mean = sum / s.n;
+  if (s.n > 1) {
+    double ss = 0;
+    for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(ss / (s.n - 1));
+    s.ci95 = 1.96 * s.stddev / std::sqrt(static_cast<double>(s.n));
+  }
+  return s;
+}
+
+}  // namespace pcm::analysis

@@ -1,0 +1,23 @@
+// Summary statistics for experiment replications (the paper averages 16
+// independent placements per data point).
+#pragma once
+
+#include <span>
+
+namespace pcm::analysis {
+
+struct Stats {
+  int n = 0;
+  double mean = 0;
+  double stddev = 0;   ///< sample standard deviation (n-1)
+  double min = 0;
+  double max = 0;
+  double ci95 = 0;     ///< half-width of the normal-approx 95% CI
+
+  [[nodiscard]] double lo() const { return mean - ci95; }
+  [[nodiscard]] double hi() const { return mean + ci95; }
+};
+
+Stats summarize(std::span<const double> xs);
+
+}  // namespace pcm::analysis

@@ -1,0 +1,73 @@
+#include "analysis/table.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pcm::analysis {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("Table::add_row: arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string Table::to_string() const {
+  std::vector<size_t> w(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) w[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c) w[c] = std::max(w[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << (c ? "  " : "");
+      os << std::string(w[c] - cells[c].size(), ' ') << cells[c];
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  std::string rule;
+  for (size_t c = 0; c < w.size(); ++c) rule += std::string(w[c], '-') + (c + 1 < w.size() ? "  " : "");
+  os << rule << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) os << (c ? "," : "") << cells[c];
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::print(const std::string& title, const std::string& csv_path) const {
+  std::cout << "\n== " << title << " ==\n" << to_string();
+  if (!csv_path.empty()) {
+    std::ofstream f(csv_path);
+    if (f) {
+      f << to_csv();
+      std::cout << "(csv: " << csv_path << ")\n";
+    } else {
+      std::cout << "(csv: failed to open " << csv_path << ")\n";
+    }
+  }
+  std::cout.flush();
+}
+
+}  // namespace pcm::analysis

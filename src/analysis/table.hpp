@@ -1,0 +1,34 @@
+// Aligned ASCII tables + CSV mirroring for the benchmark harness, so each
+// bench binary prints the same rows/series the paper's figures plot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pcm::analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string num(double v, int precision = 1);
+
+  /// Aligned human-readable rendering.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Comma-separated rendering (headers + rows).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Prints the table (and, when `csv_path` is non-empty, writes the CSV
+  /// beside it and notes the path).
+  void print(const std::string& title, const std::string& csv_path = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pcm::analysis

@@ -1,0 +1,66 @@
+#include "analysis/timeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace pcm::analysis {
+
+std::vector<TimelineRow> message_timeline(const sim::MessageTable& messages) {
+  std::vector<TimelineRow> rows;
+  rows.reserve(messages.size());
+  for (const sim::Message& m : messages.all()) {
+    if (m.delivered < 0) continue;
+    rows.push_back(TimelineRow{m.id, m.src, m.dst, m.ready_time, m.inject_start,
+                               m.delivered, m.block_cycles});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const TimelineRow& a, const TimelineRow& b) {
+              return a.delivered < b.delivered;
+            });
+  return rows;
+}
+
+std::string timeline_csv(const std::vector<TimelineRow>& rows) {
+  std::ostringstream os;
+  os << "id,src,dst,ready,inject,delivered,blocked\n";
+  for (const TimelineRow& r : rows)
+    os << r.id << "," << r.src << "," << r.dst << "," << r.ready << "," << r.inject
+       << "," << r.delivered << "," << r.blocked << "\n";
+  return os.str();
+}
+
+std::string timeline_gantt(const std::vector<TimelineRow>& rows, int width) {
+  if (width < 8) throw std::invalid_argument("timeline_gantt: width too small");
+  if (rows.empty()) return "(no messages)\n";
+  Time t0 = rows.front().ready, t1 = 0;
+  for (const TimelineRow& r : rows) {
+    t0 = std::min(t0, r.ready);
+    t1 = std::max(t1, r.delivered);
+  }
+  const double span = std::max<Time>(1, t1 - t0);
+  auto col = [&](Time t) {
+    return std::min(width - 1,
+                    static_cast<int>(static_cast<double>(t - t0) / span * (width - 1)));
+  };
+  std::ostringstream os;
+  os << "t=" << t0 << " .. " << t1 << " (one row per message: '.'=queued, "
+        "'='=in network, '#'=blocked-share)\n";
+  for (const TimelineRow& r : rows) {
+    std::string line(static_cast<size_t>(width), ' ');
+    const int a = col(r.ready), b = col(r.inject), c = col(r.delivered);
+    for (int i = a; i < b; ++i) line[i] = '.';
+    for (int i = b; i <= c; ++i) line[i] = '=';
+    if (r.blocked > 0) {
+      const int blocked_cols = std::max(
+          1, static_cast<int>(static_cast<double>(r.blocked) / span * (width - 1)));
+      for (int i = b; i <= std::min(c, b + blocked_cols - 1); ++i) line[i] = '#';
+    }
+    std::ostringstream tag;
+    tag << r.src << "->" << r.dst;
+    os << line << "  " << tag.str() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pcm::analysis

@@ -1,0 +1,35 @@
+// Per-message timeline reporting: what each unicast of a multicast did
+// and when (software issue, NI handoff, injection, delivery), as an
+// aligned ASCII Gantt chart and as CSV.  Useful for understanding where a
+// schedule loses time to contention.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace pcm::analysis {
+
+struct TimelineRow {
+  sim::MsgId id;
+  NodeId src;
+  NodeId dst;
+  Time ready;      ///< NI handoff (send software done)
+  Time inject;     ///< first flit entered the network
+  Time delivered;  ///< tail consumed
+  Time blocked;    ///< head-blocked cycles en route
+};
+
+/// Extracts rows for every delivered message, in delivery order.
+std::vector<TimelineRow> message_timeline(const sim::MessageTable& messages);
+
+/// CSV: id,src,dst,ready,inject,delivered,blocked.
+std::string timeline_csv(const std::vector<TimelineRow>& rows);
+
+/// ASCII Gantt: one line per message, time axis scaled to `width`
+/// columns.  '.' = waiting at NI, '=' = in network, '#' = blocked share
+/// (rendered at the start of the network span).
+std::string timeline_gantt(const std::vector<TimelineRow>& rows, int width = 72);
+
+}  // namespace pcm::analysis

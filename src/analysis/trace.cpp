@@ -1,0 +1,122 @@
+#include "analysis/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace pcm::analysis {
+
+ChannelTraceRecorder::ChannelTraceRecorder(const sim::Topology& topo) : topo_(topo) {
+  open_.assign(topo.num_channels(), 0);
+}
+
+void ChannelTraceRecorder::on_reserve(int router, int out_port, sim::MsgId msg,
+                                      Time t) {
+  const sim::ChannelId c = topo_.channel_id(router, out_port);
+  if (open_[c] != 0)
+    throw std::logic_error("trace: reserve of already-held channel " +
+                           topo_.channel_name(router, out_port));
+  holds_.push_back(ChannelHoldRecord{c, msg, t, -1});
+  open_[c] = static_cast<int>(holds_.size());
+  ++open_count_;
+}
+
+void ChannelTraceRecorder::on_release(int router, int out_port, sim::MsgId msg,
+                                      Time t) {
+  const sim::ChannelId c = topo_.channel_id(router, out_port);
+  if (open_[c] == 0)
+    throw std::logic_error("trace: release of unheld channel " +
+                           topo_.channel_name(router, out_port));
+  ChannelHoldRecord& rec = holds_[open_[c] - 1];
+  if (rec.msg != msg)
+    throw std::logic_error("trace: release by a different message on " +
+                           topo_.channel_name(router, out_port));
+  rec.end = t;
+  open_[c] = 0;
+  --open_count_;
+}
+
+void ChannelTraceRecorder::on_blocked(int router, int in_port, sim::MsgId msg,
+                                      Time t) {
+  blocks_.push_back(BlockRecord{router, in_port, msg, t});
+}
+
+std::string ChannelTraceRecorder::verify(const sim::MessageTable& messages,
+                                         bool check_paths) const {
+  std::ostringstream err;
+  if (!complete()) err << open_count_ << " reservation(s) never released; ";
+
+  // Serial reuse per channel.
+  std::map<sim::ChannelId, std::vector<const ChannelHoldRecord*>> per_channel;
+  for (const auto& h : holds_) per_channel[h.channel].push_back(&h);
+  for (auto& [ch, hs] : per_channel) {
+    std::sort(hs.begin(), hs.end(),
+              [](const ChannelHoldRecord* a, const ChannelHoldRecord* b) {
+                return a->start < b->start;
+              });
+    for (size_t i = 1; i < hs.size(); ++i) {
+      if (hs[i - 1]->end < 0) continue;  // open hold already reported
+      if (hs[i]->start < hs[i - 1]->end)
+        err << "channel " << topo_.channel_name(ch / topo_.radix(), ch % topo_.radix())
+            << ": overlapping holds by msg " << hs[i - 1]->msg << " and "
+            << hs[i]->msg << "; ";
+    }
+  }
+
+  if (check_paths) {
+    // Every hold must be a channel of its message's deterministic path.
+    std::map<sim::MsgId, std::vector<sim::ChannelId>> paths;
+    for (const auto& h : holds_) {
+      const sim::Message& m = messages.at(h.msg);
+      auto it = paths.find(h.msg);
+      if (it == paths.end()) {
+        auto p = sim::trace_path(topo_, m.src, m.dst);
+        std::sort(p.begin(), p.end());
+        it = paths.emplace(h.msg, std::move(p)).first;
+      }
+      if (!std::binary_search(it->second.begin(), it->second.end(), h.channel))
+        err << "msg " << h.msg << " held off-path channel "
+            << topo_.channel_name(h.channel / topo_.radix(), h.channel % topo_.radix())
+            << "; ";
+    }
+  }
+  return err.str();
+}
+
+std::vector<ChannelUse> ChannelTraceRecorder::utilization(int top) const {
+  std::map<sim::ChannelId, ChannelUse> agg;
+  for (const auto& h : holds_) {
+    if (h.end < 0) continue;
+    ChannelUse& u = agg[h.channel];
+    u.channel = h.channel;
+    u.busy += h.end - h.start;
+    u.holds += 1;
+  }
+  std::vector<ChannelUse> out;
+  out.reserve(agg.size());
+  for (const auto& [ch, u] : agg) out.push_back(u);
+  std::sort(out.begin(), out.end(),
+            [](const ChannelUse& a, const ChannelUse& b) { return a.busy > b.busy; });
+  if (top > 0 && static_cast<int>(out.size()) > top) out.resize(top);
+  return out;
+}
+
+std::string ChannelTraceRecorder::to_csv() const {
+  std::ostringstream os;
+  os << "channel,name,msg,start,end\n";
+  for (const auto& h : holds_)
+    os << h.channel << ","
+       << topo_.channel_name(h.channel / topo_.radix(), h.channel % topo_.radix())
+       << "," << h.msg << "," << h.start << "," << h.end << "\n";
+  return os.str();
+}
+
+void ChannelTraceRecorder::clear() {
+  holds_.clear();
+  blocks_.clear();
+  std::fill(open_.begin(), open_.end(), 0);
+  open_count_ = 0;
+}
+
+}  // namespace pcm::analysis

@@ -1,0 +1,78 @@
+// Channel-hold trace recording: the ground truth of wormhole switching.
+//
+// A ChannelTraceRecorder attached to a Simulator collects one record per
+// (channel, message) reservation — when the head won the channel and when
+// the tail released it — plus every blocked-head event.  From the trace
+// one can machine-check the wormhole invariants (a channel is held by at
+// most one message at a time, every hold belongs to the message's routing
+// path), measure channel utilization, and rank hot channels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/observer.hpp"
+#include "sim/simulator.hpp"
+#include "sim/topology.hpp"
+
+namespace pcm::analysis {
+
+struct ChannelHoldRecord {
+  sim::ChannelId channel;
+  sim::MsgId msg;
+  Time start;  ///< cycle the head reserved the channel
+  Time end;    ///< cycle the tail released it
+};
+
+struct BlockRecord {
+  int router;
+  int in_port;
+  sim::MsgId msg;
+  Time at;
+};
+
+struct ChannelUse {
+  sim::ChannelId channel;
+  Time busy = 0;  ///< total held cycles
+  int holds = 0;  ///< number of distinct reservations
+};
+
+class ChannelTraceRecorder final : public sim::SimObserver {
+ public:
+  explicit ChannelTraceRecorder(const sim::Topology& topo);
+
+  void on_reserve(int router, int out_port, sim::MsgId msg, Time t) override;
+  void on_release(int router, int out_port, sim::MsgId msg, Time t) override;
+  void on_blocked(int router, int in_port, sim::MsgId msg, Time t) override;
+
+  [[nodiscard]] const std::vector<ChannelHoldRecord>& holds() const { return holds_; }
+  [[nodiscard]] const std::vector<BlockRecord>& blocks() const { return blocks_; }
+
+  /// True when no reservation is still open (every hold was released).
+  [[nodiscard]] bool complete() const { return open_count_ == 0; }
+
+  /// Checks the wormhole invariants over the recorded trace:
+  ///  * per channel, holds are serial (no two overlap in time),
+  ///  * every hold lies on its message's deterministic routing path
+  ///    (skipped for adaptive topologies — pass check_paths=false).
+  /// Returns "" when sound, else a diagnostic.
+  [[nodiscard]] std::string verify(const sim::MessageTable& messages,
+                                   bool check_paths = true) const;
+
+  /// Per-channel busy time, descending; `top` entries (0 = all).
+  [[nodiscard]] std::vector<ChannelUse> utilization(int top = 0) const;
+
+  /// CSV: channel,name,msg,start,end.
+  [[nodiscard]] std::string to_csv() const;
+
+  void clear();
+
+ private:
+  const sim::Topology& topo_;
+  std::vector<ChannelHoldRecord> holds_;
+  std::vector<BlockRecord> blocks_;
+  std::vector<int> open_;  ///< per channel: index into holds_ + 1, or 0
+  int open_count_ = 0;
+};
+
+}  // namespace pcm::analysis

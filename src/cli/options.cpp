@@ -1,0 +1,289 @@
+#include "cli/options.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/sampling.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "analysis/timeline.hpp"
+#include "bmin/bmin_topology.hpp"
+#include "butterfly/butterfly_topology.hpp"
+#include "mesh/mesh_topology.hpp"
+#include "runtime/collectives.hpp"
+#include "runtime/mcast_runtime.hpp"
+#include "runtime/param_probe.hpp"
+
+namespace pcm::cli {
+namespace {
+
+long long parse_int(std::string_view key, std::string_view value) {
+  long long out = 0;
+  const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size())
+    throw std::invalid_argument("pcmcast: " + std::string(key) +
+                                " expects an integer, got '" + std::string(value) + "'");
+  return out;
+}
+
+std::pair<std::string, std::vector<std::string>> split_spec(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::string cur;
+  std::istringstream is(spec);
+  while (std::getline(is, cur, ':')) parts.push_back(cur);
+  if (parts.empty()) throw std::invalid_argument("pcmcast: empty topology spec");
+  const std::string kind = parts.front();
+  parts.erase(parts.begin());
+  return {kind, parts};
+}
+
+}  // namespace
+
+std::optional<McastAlgorithm> algorithm_from_name(std::string_view name) {
+  if (name == "opt-mesh") return McastAlgorithm::kOptMesh;
+  if (name == "u-mesh") return McastAlgorithm::kUMesh;
+  if (name == "opt-min") return McastAlgorithm::kOptMin;
+  if (name == "u-min") return McastAlgorithm::kUMin;
+  if (name == "opt-tree") return McastAlgorithm::kOptTree;
+  if (name == "binomial") return McastAlgorithm::kBinomial;
+  if (name == "sequential") return McastAlgorithm::kSequential;
+  return std::nullopt;
+}
+
+CliOptions parse_args(std::span<const std::string_view> args) {
+  CliOptions opt;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string_view a = args[i];
+    auto value = [&]() -> std::string_view {
+      if (i + 1 >= args.size())
+        throw std::invalid_argument("pcmcast: missing value for " + std::string(a));
+      return args[++i];
+    };
+    if (a == "--help" || a == "-h") {
+      opt.help = true;
+    } else if (a == "--topology") {
+      opt.topology = std::string(value());
+    } else if (a == "--algorithm") {
+      opt.algorithm = std::string(value());
+    } else if (a == "--nodes") {
+      opt.nodes = static_cast<int>(parse_int(a, value()));
+    } else if (a == "--bytes") {
+      opt.bytes = parse_int(a, value());
+    } else if (a == "--reps") {
+      opt.reps = static_cast<int>(parse_int(a, value()));
+    } else if (a == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(parse_int(a, value()));
+    } else if (a == "--csv") {
+      opt.csv = std::string(value());
+    } else if (a == "--probe") {
+      opt.probe = true;
+    } else if (a == "--compare") {
+      opt.compare = true;
+    } else if (a == "--gantt") {
+      opt.gantt = true;
+    } else if (a == "--collective") {
+      opt.collective = std::string(value());
+    } else {
+      throw std::invalid_argument("pcmcast: unknown option '" + std::string(a) +
+                                  "' (try --help)");
+    }
+  }
+  if (!opt.help) {
+    if (!algorithm_from_name(opt.algorithm))
+      throw std::invalid_argument("pcmcast: unknown algorithm '" + opt.algorithm + "'");
+    if (opt.nodes < 2) throw std::invalid_argument("pcmcast: --nodes must be >= 2");
+    if (opt.reps < 1) throw std::invalid_argument("pcmcast: --reps must be >= 1");
+    if (opt.bytes < 0) throw std::invalid_argument("pcmcast: --bytes must be >= 0");
+    if (opt.collective != "multicast" && opt.collective != "reduce" &&
+        opt.collective != "barrier")
+      throw std::invalid_argument("pcmcast: --collective must be multicast, reduce, "
+                                  "or barrier");
+  }
+  return opt;
+}
+
+std::unique_ptr<sim::Topology> make_topology(const std::string& spec) {
+  const auto [kind, params] = split_spec(spec);
+  auto param_at = [&, &params = params](size_t i, long long fallback) -> long long {
+    if (i < params.size()) return parse_int("topology parameter", params[i]);
+    return fallback;
+  };
+  if (kind == "mesh") {
+    const int side = static_cast<int>(param_at(0, 16));
+    return std::make_unique<mesh::MeshTopology>(MeshShape::square2d(side));
+  }
+  if (kind == "hypercube") {
+    const int q = static_cast<int>(param_at(0, 7));
+    if (q < 1 || q > 20)
+      throw std::invalid_argument("pcmcast: hypercube dimension out of range");
+    return std::make_unique<mesh::MeshTopology>(MeshShape::hypercube(q));
+  }
+  if (kind == "bmin") {
+    const int n = static_cast<int>(param_at(0, 128));
+    bmin::UpPolicy policy = bmin::UpPolicy::kSourceAddress;
+    if (params.size() > 1) {
+      if (params[1] == "adaptive") {
+        policy = bmin::UpPolicy::kAdaptive;
+      } else if (params[1] == "dest") {
+        policy = bmin::UpPolicy::kDestAddress;
+      } else if (params[1] == "random") {
+        policy = bmin::UpPolicy::kRandomHash;
+      } else if (params[1] != "source") {
+        throw std::invalid_argument("pcmcast: unknown bmin policy '" + params[1] + "'");
+      }
+    }
+    return std::make_unique<bmin::BminTopology>(n, policy);
+  }
+  if (kind == "butterfly") {
+    const int n = static_cast<int>(param_at(0, 64));
+    return std::make_unique<butterfly::ButterflyTopology>(n);
+  }
+  throw std::invalid_argument("pcmcast: unknown topology kind '" + kind + "'");
+}
+
+const MeshShape* mesh_shape_of(const sim::Topology& topo) {
+  const auto* m = dynamic_cast<const mesh::MeshTopology*>(&topo);
+  return m != nullptr ? &m->shape() : nullptr;
+}
+
+std::string usage() {
+  return "pcmcast — parameterized-model multicast experiments on a flit-level\n"
+         "wormhole simulator (IPPS'97 reproduction)\n\n"
+         "usage: pcmcast [options]\n"
+         "  --topology SPEC    mesh:S | hypercube:Q | bmin:N[:source|adaptive|dest|random]\n"
+         "                     | butterfly:N            (default mesh:16)\n"
+         "  --algorithm NAME   opt-mesh | u-mesh | opt-min | u-min | opt-tree |\n"
+         "                     binomial | sequential    (default opt-mesh)\n"
+         "  --nodes K          multicast size incl. source (default 32)\n"
+         "  --bytes B          payload bytes (default 4096)\n"
+         "  --reps R           random placements (default 16)\n"
+         "  --seed S           RNG seed (default 1997)\n"
+         "  --collective KIND  multicast | reduce | barrier (default multicast)\n"
+         "  --compare          run every algorithm applicable to the topology\n"
+         "  --gantt            print a message timeline for the first rep\n"
+         "  --csv PATH         also write per-rep results as CSV\n"
+         "  --probe            measure (t_hold, t_end) on the network first\n"
+         "  --help             this text\n";
+}
+
+namespace {
+
+struct RunOutcome {
+  Time latency = 0;
+  Time model = 0;
+  long long conflicts = 0;
+};
+
+RunOutcome run_one(const MeshShape* shape, const rt::CollectiveRuntime& coll,
+                   const CliOptions& opt, McastAlgorithm alg,
+                   const analysis::Placement& p, sim::Simulator& sim) {
+  const rt::MulticastRuntime& rtm = coll.multicast();
+  const TwoParam tp = rtm.config().machine.two_param(rtm.wire_bytes(opt.bytes, 1));
+  const MulticastTree tree = build_multicast(alg, p.source, p.dests, tp, shape);
+  RunOutcome out;
+  if (opt.collective == "multicast") {
+    const rt::McastResult r = rtm.run(sim, tree, opt.bytes, sim.now());
+    out = RunOutcome{r.latency, r.model_latency, r.channel_conflicts};
+  } else if (opt.collective == "reduce") {
+    const rt::ReduceResult r = coll.run_reduce(sim, tree, opt.bytes, sim.now());
+    out = RunOutcome{r.latency, r.model_latency, r.channel_conflicts};
+  } else {  // barrier
+    const rt::BarrierResult r = coll.run_barrier(sim, tree, opt.bytes);
+    out = RunOutcome{r.latency, r.reduce.model_latency + r.bcast.model_latency,
+                     r.reduce.channel_conflicts + r.bcast.channel_conflicts};
+  }
+  return out;
+}
+
+}  // namespace
+
+int run_cli(const CliOptions& opt, std::ostream& os) {
+  if (opt.help) {
+    os << usage();
+    return 0;
+  }
+  const auto topo = make_topology(opt.topology);
+  const MeshShape* shape = mesh_shape_of(*topo);
+  if (opt.nodes > topo->num_nodes())
+    throw std::invalid_argument("pcmcast: --nodes exceeds topology size");
+
+  std::vector<McastAlgorithm> algs;
+  if (opt.compare) {
+    if (shape != nullptr) {
+      algs = {McastAlgorithm::kOptMesh, McastAlgorithm::kUMesh, McastAlgorithm::kOptTree,
+              McastAlgorithm::kBinomial, McastAlgorithm::kSequential};
+    } else {
+      algs = {McastAlgorithm::kOptMin, McastAlgorithm::kUMin, McastAlgorithm::kOptTree,
+              McastAlgorithm::kBinomial, McastAlgorithm::kSequential};
+    }
+  } else {
+    const auto alg = algorithm_from_name(opt.algorithm);
+    if (needs_mesh_shape(*alg) && shape == nullptr)
+      throw std::invalid_argument("pcmcast: " + opt.algorithm +
+                                  " requires a mesh/hypercube topology");
+    algs = {*alg};
+  }
+
+  rt::RuntimeConfig cfg;
+  rt::CollectiveRuntime coll(cfg);
+  os << "pcmcast: " << (opt.compare ? std::string("compare") : opt.algorithm) << " ("
+     << opt.collective << ") on " << opt.topology << ", k=" << opt.nodes << ", "
+     << opt.bytes << " B, " << opt.reps << " reps, seed " << opt.seed << "\n";
+  os << "machine: " << describe(cfg.machine, opt.bytes) << "\n";
+
+  if (opt.probe) {
+    const rt::ProbeResult probe =
+        rt::probe_parameters(*topo, cfg.machine, opt.bytes, 32, opt.seed);
+    os << "probe:   t_net=" << probe.t_net << " (" << probe.t_net_min << ".."
+       << probe.t_net_max << "), t_hold=" << probe.t_hold << ", t_end=" << probe.t_end
+       << "\n";
+  }
+
+  const auto placements =
+      analysis::sample_placements(opt.seed, topo->num_nodes(), opt.nodes, opt.reps);
+  analysis::Table summary({"algorithm", "mean", "ci95", "min", "max", "model",
+                           "sim/model", "blocked"});
+  analysis::Table rows({"algorithm", "rep", "latency", "model", "conflicts"});
+  for (McastAlgorithm alg : algs) {
+    std::vector<double> lat, model;
+    long long conflicts = 0;
+    for (size_t i = 0; i < placements.size(); ++i) {
+      sim::Simulator sim(*topo);
+      const RunOutcome r = run_one(shape, coll, opt, alg, placements[i], sim);
+      lat.push_back(static_cast<double>(r.latency));
+      model.push_back(static_cast<double>(r.model));
+      conflicts += r.conflicts;
+      rows.add_row({std::string(algorithm_name(alg)), std::to_string(i),
+                    std::to_string(r.latency), std::to_string(r.model),
+                    std::to_string(r.conflicts)});
+    }
+    const analysis::Stats s = analysis::summarize(lat);
+    const analysis::Stats ms = analysis::summarize(model);
+    summary.add_row({std::string(algorithm_name(alg)), analysis::Table::num(s.mean, 1),
+                     analysis::Table::num(s.ci95, 1), analysis::Table::num(s.min, 0),
+                     analysis::Table::num(s.max, 0), analysis::Table::num(ms.mean, 1),
+                     analysis::Table::num(s.mean / ms.mean, 3),
+                     std::to_string(conflicts)});
+  }
+  os << "\n" << summary.to_string();
+
+  if (opt.gantt) {
+    sim::Simulator sim(*topo);
+    (void)run_one(shape, coll, opt, algs.front(), placements.front(), sim);
+    os << "\nmessage timeline (" << algorithm_name(algs.front()) << ", rep 0):\n"
+       << analysis::timeline_gantt(analysis::message_timeline(sim.messages()));
+  }
+
+  if (!opt.csv.empty()) {
+    std::ofstream f(opt.csv);
+    if (!f) throw std::runtime_error("pcmcast: cannot open " + opt.csv);
+    f << rows.to_csv();
+    os << "csv:     " << opt.csv << "\n";
+  }
+  return 0;
+}
+
+}  // namespace pcm::cli

@@ -1,0 +1,61 @@
+// Command-line surface of the `pcmcast` tool: run any multicast
+// experiment the library supports without writing C++.
+//
+//   pcmcast --topology mesh:16 --algorithm opt-mesh --nodes 32
+//           --bytes 4096 --reps 16 --seed 1997 [--csv out.csv] [--probe]
+//
+// Kept as a library so the parsing and the experiment driver are unit
+// testable; the binary in tools/ is a thin main().
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "core/algorithms.hpp"
+#include "sim/topology.hpp"
+
+namespace pcm::cli {
+
+struct CliOptions {
+  std::string topology = "mesh:16";     ///< kind:param (see make_topology)
+  std::string algorithm = "opt-mesh";   ///< see algorithm_from_name
+  std::string collective = "multicast"; ///< multicast | reduce | barrier
+  int nodes = 32;                       ///< multicast size k (incl. source)
+  Bytes bytes = 4096;                   ///< payload size
+  int reps = 16;                        ///< random placements per run
+  std::uint64_t seed = 1997;
+  std::string csv;                      ///< optional CSV output path
+  bool probe = false;                   ///< measure (t_hold, t_end) first
+  bool compare = false;                 ///< run every applicable algorithm
+  bool gantt = false;                   ///< print a message Gantt for rep 0
+  bool help = false;
+};
+
+/// Parses argv-style arguments (excluding argv[0]).  Throws
+/// std::invalid_argument with a user-facing message on bad input.
+CliOptions parse_args(std::span<const std::string_view> args);
+
+/// "opt-mesh" -> kOptMesh etc.; nullopt for unknown names.
+std::optional<McastAlgorithm> algorithm_from_name(std::string_view name);
+
+/// Topology factory: "mesh:S" (SxS 2-D mesh), "hypercube:Q",
+/// "bmin:N[:adaptive]", "butterfly:N".  Throws on unknown kinds or bad
+/// parameters.  The returned topology owns its shape; use mesh_shape_of to
+/// obtain the MeshShape pointer mesh-tuned algorithms need.
+std::unique_ptr<sim::Topology> make_topology(const std::string& spec);
+
+/// The MeshShape of a mesh/hypercube topology, or nullptr.
+const MeshShape* mesh_shape_of(const sim::Topology& topo);
+
+/// Usage text.
+std::string usage();
+
+/// Runs the experiment described by `opt` and writes the report to `os`.
+/// Returns 0 on success (the process exit code).
+int run_cli(const CliOptions& opt, std::ostream& os);
+
+}  // namespace pcm::cli

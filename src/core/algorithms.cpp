@@ -1,0 +1,70 @@
+#include "core/algorithms.hpp"
+
+#include <stdexcept>
+
+namespace pcm {
+
+std::string_view algorithm_name(McastAlgorithm a) {
+  switch (a) {
+    case McastAlgorithm::kOptMesh: return "OPT-Mesh";
+    case McastAlgorithm::kUMesh: return "U-Mesh";
+    case McastAlgorithm::kOptMin: return "OPT-Min";
+    case McastAlgorithm::kUMin: return "U-Min";
+    case McastAlgorithm::kOptTree: return "OPT-Tree";
+    case McastAlgorithm::kBinomial: return "Binomial";
+    case McastAlgorithm::kSequential: return "Sequential";
+  }
+  throw std::invalid_argument("algorithm_name: unknown algorithm");
+}
+
+bool needs_mesh_shape(McastAlgorithm a) {
+  return a == McastAlgorithm::kOptMesh || a == McastAlgorithm::kUMesh;
+}
+
+namespace {
+
+ChainOrder chain_order_for(McastAlgorithm a) {
+  switch (a) {
+    case McastAlgorithm::kOptMesh:
+    case McastAlgorithm::kUMesh:
+      return ChainOrder::kDimensionOrdered;
+    case McastAlgorithm::kOptMin:
+    case McastAlgorithm::kUMin:
+      return ChainOrder::kLexicographic;
+    case McastAlgorithm::kOptTree:
+    case McastAlgorithm::kBinomial:
+    case McastAlgorithm::kSequential:
+      return ChainOrder::kAsGiven;
+  }
+  throw std::invalid_argument("chain_order_for: unknown algorithm");
+}
+
+}  // namespace
+
+SplitTable split_table_for(McastAlgorithm alg, TwoParam tp, int k) {
+  switch (alg) {
+    case McastAlgorithm::kOptMesh:
+    case McastAlgorithm::kOptMin:
+    case McastAlgorithm::kOptTree:
+      return opt_split_table(tp.t_hold, tp.t_end, k);
+    case McastAlgorithm::kUMesh:
+    case McastAlgorithm::kUMin:
+    case McastAlgorithm::kBinomial:
+      return binomial_split_table(tp.t_hold, tp.t_end, k);
+    case McastAlgorithm::kSequential:
+      return sequential_split_table(tp.t_hold, tp.t_end, k);
+  }
+  throw std::invalid_argument("split_table_for: unknown algorithm");
+}
+
+MulticastTree build_multicast(McastAlgorithm alg, NodeId source,
+                              std::span<const NodeId> dests, TwoParam tp,
+                              const MeshShape* shape) {
+  if (needs_mesh_shape(alg) && shape == nullptr)
+    throw std::invalid_argument("build_multicast: this algorithm requires a MeshShape");
+  const Chain chain = make_chain(source, dests, chain_order_for(alg), shape);
+  const SplitTable table = split_table_for(alg, tp, chain.size());
+  return build_chain_split_tree(chain, table);
+}
+
+}  // namespace pcm

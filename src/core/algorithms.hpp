@@ -1,0 +1,46 @@
+// High-level constructors for every multicast algorithm evaluated in the
+// paper, expressed as (chain order) x (split rule):
+//
+//                      | OPT splits (DP)   | binomial splits   |
+//   dimension-ordered  | OPT-mesh  (Sec 3) | U-mesh  [McKinley]|
+//   lexicographic      | OPT-min   (Sec 4) | U-min   [Xu & Ni] |
+//   caller order       | OPT-tree  (Sec 2) | binomial tree     |
+//
+// plus the sequential tree (source sends to everyone) as the degenerate
+// baseline discussed in the introduction.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "core/multicast_tree.hpp"
+
+namespace pcm {
+
+enum class McastAlgorithm {
+  kOptMesh,    ///< OPT splits over the dimension-ordered chain
+  kUMesh,      ///< binomial splits over the dimension-ordered chain
+  kOptMin,     ///< OPT splits over the lexicographic chain
+  kUMin,       ///< binomial splits over the lexicographic chain
+  kOptTree,    ///< OPT splits, architecture-independent (caller order)
+  kBinomial,   ///< binomial splits, caller order
+  kSequential  ///< source unicasts to every destination
+};
+
+/// Short stable name for tables and CSV output ("OPT-Mesh", "U-Mesh", ...).
+std::string_view algorithm_name(McastAlgorithm a);
+
+/// True when the algorithm needs a MeshShape to sort its chain.
+bool needs_mesh_shape(McastAlgorithm a);
+
+/// Builds the multicast tree for `alg` rooted at `source` covering
+/// `dests`, for a machine with parameters `tp`.  `shape` is required by
+/// the mesh-tuned algorithms and ignored otherwise.
+MulticastTree build_multicast(McastAlgorithm alg, NodeId source,
+                              std::span<const NodeId> dests, TwoParam tp,
+                              const MeshShape* shape = nullptr);
+
+/// The split table `alg` uses for k participants (for inspection/tests).
+SplitTable split_table_for(McastAlgorithm alg, TwoParam tp, int k);
+
+}  // namespace pcm

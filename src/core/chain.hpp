@@ -1,0 +1,53 @@
+// Ordered chains of multicast participants.
+//
+// The architecture-dependent tuning in the paper is *node ordering*: sort
+// the source and destinations into a chain such that the chain-split
+// algorithm (OPT-mesh / OPT-min, Algorithms 3.1 / 4.1) only ever sends
+// between disjoint chain intervals, which the routing function maps to
+// disjoint channel sets:
+//
+//   * mesh + XY routing       -> dimension-ordered chain  (relation <d)
+//   * BMIN + turnaround       -> lexicographic chain      (binary value)
+//   * architecture-independent (plain OPT-tree) -> whatever order the
+//     caller supplied; no contention guarantee.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/address.hpp"
+#include "core/types.hpp"
+
+namespace pcm {
+
+enum class ChainOrder {
+  kDimensionOrdered,  ///< sort by <d (requires a MeshShape)
+  kLexicographic,     ///< sort by binary address value
+  kAsGiven,           ///< source first, destinations in caller order
+};
+
+/// A sorted participant list plus the position of the source within it.
+struct Chain {
+  std::vector<NodeId> nodes;
+  int source_pos = 0;
+
+  [[nodiscard]] int size() const { return static_cast<int>(nodes.size()); }
+  [[nodiscard]] NodeId source() const { return nodes.at(source_pos); }
+  [[nodiscard]] NodeId at(int i) const { return nodes.at(i); }
+};
+
+/// Builds the chain for `source` and `dests` under the given order.
+/// `shape` is required for kDimensionOrdered and ignored otherwise.
+/// Throws std::invalid_argument on duplicate participants or when the
+/// source appears among the destinations.
+Chain make_chain(NodeId source, std::span<const NodeId> dests, ChainOrder order,
+                 const MeshShape* shape = nullptr);
+
+/// True iff `nodes` is strictly sorted under <d for `shape` (a
+/// "dimension-ordered chain" in the sense of McKinley et al.).
+bool is_dimension_ordered_chain(std::span<const NodeId> nodes, const MeshShape& shape);
+
+/// True iff `nodes` is strictly increasing by address value.
+bool is_lexicographic_chain(std::span<const NodeId> nodes);
+
+}  // namespace pcm

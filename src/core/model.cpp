@@ -1,0 +1,43 @@
+#include "core/model.hpp"
+
+#include <sstream>
+
+namespace pcm {
+
+MachineParams MachineParams::classic() {
+  MachineParams p;
+  // Per-byte software cost must exceed the wire's 1/16 cycle per byte so
+  // that t_hold covers injection serialization (the DP's t_hold-spaced
+  // schedule is then achievable on the one-port NI).
+  p.send = LinearCost{400, 1.25 / 16.0};  // fixed software cost + copy at 80% wire speed
+  p.recv = LinearCost{300, 1.125 / 16.0};
+  p.net_fixed = 20;
+  p.router_delay = 2;
+  p.bytes_per_cycle = 16;
+  p.nominal_hops = 8;
+  p.hold_gap = 0;
+  return p;
+}
+
+MachineParams from_logp(Time L, Time o, Time g) {
+  MachineParams p;
+  p.send = LinearCost{o, 0.0};
+  p.recv = LinearCost{o, 0.0};
+  p.net_fixed = L;
+  p.router_delay = 0;
+  p.bytes_per_cycle = 1e9;  // LogP treats messages as fixed-size units
+  p.nominal_hops = 0;
+  p.hold_gap = (g > o) ? (g - o) : 0;  // spacing between sends is max(o, g)
+  return p;
+}
+
+std::string describe(const MachineParams& p, Bytes m) {
+  std::ostringstream os;
+  os << "m=" << m << "B"
+     << " t_send=" << p.t_send(m) << " t_recv=" << p.t_recv(m)
+     << " t_net(D=" << p.nominal_hops << ")=" << p.t_net(m, p.nominal_hops)
+     << " t_hold=" << p.t_hold(m) << " t_end=" << p.t_end(m);
+  return os.str();
+}
+
+}  // namespace pcm

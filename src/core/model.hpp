@@ -1,0 +1,99 @@
+// The parameterized communication model of Nupairoj & Ni (an extension of
+// LogP).  A machine is characterized by five parameters:
+//
+//   t_send  software overhead at the sender (packetization, checksum, copy)
+//   t_recv  software overhead at the receiver
+//   t_net   time to move the message across the network
+//   t_hold  minimum interval between two consecutive send/receive operations
+//   t_end   sender-starts-sending to receiver-finishes-receiving latency,
+//           t_end = t_send + t_net + t_recv
+//
+// Multicast performance is predicted from (t_hold, t_end) alone.  All
+// components are linear in the message size, which matches the measurement
+// methodology of MSU-CPS-ACS-103 ("Benchmarking of multicast communication
+// services") and the behaviour of real wormhole machines for the message
+// range studied in the paper (0..64 KB).
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace pcm {
+
+/// Affine cost in the message size: cost(m) = fixed + per_byte * m,
+/// rounded up to whole cycles.
+struct LinearCost {
+  Time fixed = 0;
+  double per_byte = 0.0;
+
+  [[nodiscard]] Time at(Bytes m) const {
+    return fixed + static_cast<Time>(std::ceil(per_byte * static_cast<double>(m)));
+  }
+};
+
+/// The two derived quantities the OPT-tree algorithm consumes.
+struct TwoParam {
+  Time t_hold = 0;
+  Time t_end = 0;
+};
+
+/// Full five-parameter machine description.
+///
+/// The network term is modelled for wormhole switching:
+///   t_net(m, D) = net_fixed + router_delay * D + ceil(m / bytes_per_cycle)
+/// where D is the hop distance.  Wormhole latency is famously
+/// distance-insensitive, so the architecture-independent model uses a
+/// nominal distance `nominal_hops` when evaluating t_end; the flit-level
+/// simulator supplies the true distance.
+struct MachineParams {
+  LinearCost send;              ///< t_send(m)
+  LinearCost recv;              ///< t_recv(m)
+  Time net_fixed = 0;           ///< per-message network setup cost
+  Time router_delay = 1;        ///< per-hop header routing delay (cycles)
+  double bytes_per_cycle = 16;  ///< channel bandwidth (phit payload per cycle)
+  int nominal_hops = 1;         ///< distance assumed by the abstract model
+  Time hold_gap = 0;            ///< extra cycles between consecutive ops
+
+  [[nodiscard]] Time t_send(Bytes m) const { return send.at(m); }
+  [[nodiscard]] Time t_recv(Bytes m) const { return recv.at(m); }
+
+  /// Serialization time of an m-byte message over one channel.
+  [[nodiscard]] Time serialization(Bytes m) const {
+    if (bytes_per_cycle <= 0) throw std::invalid_argument("bytes_per_cycle must be > 0");
+    return static_cast<Time>(std::ceil(static_cast<double>(m) / bytes_per_cycle));
+  }
+
+  [[nodiscard]] Time t_net(Bytes m, int hops) const {
+    return net_fixed + router_delay * hops + serialization(m);
+  }
+
+  /// t_hold: the sender is free to issue the next operation once the local
+  /// software overhead (plus any mandated gap) has elapsed.
+  [[nodiscard]] Time t_hold(Bytes m) const { return t_send(m) + hold_gap; }
+
+  [[nodiscard]] Time t_end(Bytes m) const {
+    return t_send(m) + t_net(m, nominal_hops) + t_recv(m);
+  }
+
+  [[nodiscard]] TwoParam two_param(Bytes m) const {
+    return TwoParam{t_hold(m), t_end(m)};
+  }
+
+  /// Machine resembling a mid-90s wormhole MPP (Paragon-class): software
+  /// overheads dominated by a fixed cost plus a per-byte copy that is
+  /// cheaper than the wire, so t_hold < t_end across all message sizes.
+  static MachineParams classic();
+};
+
+/// LogP(L, o, g) mapped onto the parameterized model, for interoperability
+/// with LogP-based analyses: t_send = t_recv = o, t_net = L, and g maps to
+/// the hold gap (g is the reciprocal bandwidth per message in LogP).
+MachineParams from_logp(Time L, Time o, Time g);
+
+/// Human-readable one-line summary (used by benches to record parameters).
+std::string describe(const MachineParams& p, Bytes m);
+
+}  // namespace pcm

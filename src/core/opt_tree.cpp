@@ -1,0 +1,149 @@
+#include "core/opt_tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pcm {
+namespace {
+
+void validate(Time t_hold, Time t_end, int k) {
+  if (k < 1) throw std::invalid_argument("opt_split_table: k must be >= 1");
+  if (t_hold < 0 || t_end < 0)
+    throw std::invalid_argument("opt_split_table: latencies must be >= 0");
+  // Physically, issuing a send (t_hold) is one component of delivering it
+  // (t_end); the chain-split expansion additionally relies on the
+  // resulting splits keeping the source side at least half (see
+  // build_chain_split_tree).
+  if (t_hold > t_end)
+    throw std::invalid_argument("opt_split_table: t_hold must be <= t_end");
+}
+
+SplitTable make_table(int k) {
+  SplitTable s;
+  s.j.assign(static_cast<size_t>(k) + 1, 0);
+  s.t.assign(static_cast<size_t>(k) + 1, 0);
+  return s;
+}
+
+/// Completion time of an i-node tree that keeps `j` nodes on the source
+/// side, given completion times of the two recursive halves.
+Time combine(const SplitTable& s, int i, int j, Time t_hold, Time t_end) {
+  return std::max(s.t[j] + t_hold, s.t[i - j] + t_end);
+}
+
+}  // namespace
+
+SplitTable opt_split_table(Time t_hold, Time t_end, int k) {
+  validate(t_hold, t_end, k);
+  SplitTable s = make_table(k);
+  if (k >= 2) {
+    s.t[2] = t_end;
+    s.j[2] = 1;
+  }
+  for (int i = 3; i <= k; ++i) {
+    const int jp = s.j[i - 1];
+    const Time keep = combine(s, i, jp, t_hold, t_end);
+    const Time grow = combine(s, i, jp + 1, t_hold, t_end);
+    // Paper tie-break: advance j on ties (the `else` branch of Alg 2.1).
+    if (keep < grow) {
+      s.t[i] = keep;
+      s.j[i] = jp;
+    } else {
+      s.t[i] = grow;
+      s.j[i] = jp + 1;
+    }
+  }
+  return s;
+}
+
+SplitTable opt_split_table_exhaustive(Time t_hold, Time t_end, int k) {
+  validate(t_hold, t_end, k);
+  SplitTable s = make_table(k);
+  if (k >= 2) {
+    s.t[2] = t_end;
+    s.j[2] = 1;
+  }
+  for (int i = 3; i <= k; ++i) {
+    Time best = kTimeInfinity;
+    int best_j = 1;
+    for (int j = 1; j <= i - 1; ++j) {
+      const Time c = combine(s, i, j, t_hold, t_end);
+      if (c < best || (c == best && j == best_j + 1)) {
+        best = c;
+        best_j = j;
+      }
+    }
+    s.t[i] = best;
+    s.j[i] = best_j;
+  }
+  return s;
+}
+
+SplitTable binomial_split_table(Time t_hold, Time t_end, int k) {
+  validate(t_hold, t_end, k);
+  SplitTable s = make_table(k);
+  if (k >= 2) {
+    s.t[2] = t_end;
+    s.j[2] = 1;
+  }
+  for (int i = 3; i <= k; ++i) {
+    s.j[i] = (i + 1) / 2;  // source side keeps the larger half
+    s.t[i] = combine(s, i, s.j[i], t_hold, t_end);
+  }
+  return s;
+}
+
+long long max_nodes_within(Time T, Time t_hold, Time t_end, long long cap) {
+  if (t_hold < 0 || t_end <= 0 || t_hold > t_end)
+    throw std::invalid_argument("max_nodes_within: need 0 <= t_hold <= t_end, t_end > 0");
+  if (T < 0) return 0;
+  if (t_hold == 0) return T >= t_end ? cap : 1;  // free sends: unbounded fanout
+  // Memoize on the lattice of reachable times; T is bounded by the
+  // caller, and each level subtracts at least t_hold.
+  std::vector<long long> memo(static_cast<size_t>(T) + 1, -1);
+  // Iterative bottom-up over t = 0..T keeps this O(T).
+  for (Time t = 0; t <= T; ++t) {
+    if (t < t_end) {
+      memo[t] = 1;
+      continue;
+    }
+    const long long a = memo[t - t_hold];
+    const long long b = memo[t - t_end];
+    memo[t] = (a >= cap - b) ? cap : a + b;
+  }
+  return memo[T];
+}
+
+Time min_time_for(int k, Time t_hold, Time t_end) {
+  if (k < 1) throw std::invalid_argument("min_time_for: k must be >= 1");
+  if (t_hold < 1 || t_hold > t_end)
+    throw std::invalid_argument("min_time_for: need 1 <= t_hold <= t_end");
+  if (k == 1) return 0;
+  // N(T) is nondecreasing; binary search over T in [t_end, k * t_end].
+  Time lo = t_end, hi = static_cast<Time>(k) * t_end;
+  while (lo < hi) {
+    const Time mid = lo + (hi - lo) / 2;
+    if (max_nodes_within(mid, t_hold, t_end, k) >= k) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+SplitTable sequential_split_table(Time t_hold, Time t_end, int k) {
+  validate(t_hold, t_end, k);
+  SplitTable s = make_table(k);
+  if (k >= 2) {
+    s.t[2] = t_end;
+    s.j[2] = 1;
+  }
+  for (int i = 3; i <= k; ++i) {
+    s.j[i] = i - 1;
+    s.t[i] = combine(s, i, i - 1, t_hold, t_end);
+  }
+  return s;
+}
+
+}  // namespace pcm

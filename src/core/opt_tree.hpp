@@ -1,0 +1,74 @@
+// OPT-tree: the O(k) dynamic program of Park, Choi, Nupairoj & Ni
+// (ICPP'96) that constructs the optimal architecture-independent multicast
+// tree for a machine characterized by (t_hold, t_end).
+//
+// A multicast among i nodes (one source, i-1 destinations) is performed by
+// the source issuing one send (costing it t_hold before it can proceed)
+// to a representative of a subtree of size i - j_i, after which the two
+// subtrees of sizes j_i (containing the source) and i - j_i proceed
+// recursively and in parallel:
+//
+//     t[1] = 0,  t[2] = t_end,
+//     t[i] = min over j  max( t[j] + t_hold,  t[i-j] + t_end )
+//
+// The paper's algorithm exploits that the optimal split is monotone,
+// j_i in { j_{i-1}, j_{i-1}+1 }, giving O(k) construction.  We implement
+// both the paper's greedy recurrence and an exhaustive O(k^2) reference
+// used by the property tests to machine-check that monotonicity claim.
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace pcm {
+
+/// Split table describing an entire family of trees: for every size
+/// i in [1, k], `j[i]` is the number of nodes kept in the subtree that
+/// contains the source, and `t[i]` is the model-predicted completion time.
+/// Index 0 is unused padding so that the table reads like the paper.
+struct SplitTable {
+  std::vector<int> j;   ///< j[i], valid for 2 <= i <= k; j[i] in [1, i-1]
+  std::vector<Time> t;  ///< t[i], valid for 1 <= i <= k
+
+  [[nodiscard]] int size() const { return static_cast<int>(t.size()) - 1; }
+  [[nodiscard]] Time latency(int k) const { return t.at(k); }
+  [[nodiscard]] int split(int i) const { return j.at(i); }
+};
+
+/// Paper Algorithm 2.1 (greedy O(k) recurrence).  `k` counts the source,
+/// i.e. k = 1 + number of destinations.  Requires k >= 1, t_hold >= 0,
+/// t_end >= t_hold (holding a message cannot exceed delivering it; the
+/// algorithm itself tolerates any non-negative pair).
+SplitTable opt_split_table(Time t_hold, Time t_end, int k);
+
+/// Exhaustive O(k^2) reference that tries every split.  Tie-breaking
+/// matches the greedy version (prefers the larger source-side subtree).
+SplitTable opt_split_table_exhaustive(Time t_hold, Time t_end, int k);
+
+/// Binomial (recursive doubling) splits: j_i = ceil(i/2).  This is the
+/// split rule underlying U-mesh and U-min; optimal iff t_hold == t_end.
+SplitTable binomial_split_table(Time t_hold, Time t_end, int k);
+
+/// Sequential splits: the source sends to every destination itself
+/// (j_i = i-1).  Optimal in the t_hold << t_end limit.
+SplitTable sequential_split_table(Time t_hold, Time t_end, int k);
+
+/// The dual view of the optimal tree (Park/Choi/Nupairoj/Ni, ICPP'96):
+/// N(T), the largest number of informed nodes achievable T cycles after
+/// the source starts, satisfies the Fibonacci-like recurrence
+///
+///     N(T) = 1                                   for 0 <= T < t_end
+///     N(T) = N(T - t_hold) + N(T - t_end)        for T >= t_end
+///
+/// (the source keeps multicasting in its own subtree after one t_hold
+/// while the first receiver covers its subtree t_end later).  Capped at
+/// `cap` to keep the result bounded for large T.
+long long max_nodes_within(Time T, Time t_hold, Time t_end, long long cap = 1 << 30);
+
+/// min { T : N(T) >= k } — by LP duality with the DP, equals
+/// opt_split_table(t_hold, t_end, k).latency(k).  Requires t_hold >= 1
+/// (with t_hold == 0 any k is reachable at t_end).
+Time min_time_for(int k, Time t_hold, Time t_end);
+
+}  // namespace pcm

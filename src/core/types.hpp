@@ -1,0 +1,22 @@
+// Fundamental scalar types shared by every pcm library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pcm {
+
+/// Identity of a processing node (0-based, dense).
+using NodeId = std::int32_t;
+
+/// Simulated time / latency, expressed in cycles of the network clock.
+/// Signed so that subtraction of timestamps is safe.
+using Time = std::int64_t;
+
+/// Message payload size in bytes.
+using Bytes = std::int64_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::max() / 4;
+
+}  // namespace pcm

@@ -1,0 +1,94 @@
+#include "runtime/collectives.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pcm::rt {
+
+ReduceResult CollectiveRuntime::run_reduce(sim::Simulator& sim,
+                                           const MulticastTree& tree, Bytes payload,
+                                           Time t0) const {
+  if (!sim.idle()) throw std::logic_error("run_reduce: simulator busy");
+  if (t0 < sim.now()) t0 = sim.now();
+  const MachineParams& mp = config().machine;
+  // Reduction partials are fixed-size: no address list on the wire.
+  const Bytes wire = payload + config().base_header_bytes;
+  const int flits = std::max<Time>(1, mp.serialization(wire));
+
+  ReduceResult res;
+  res.model_latency = model_reduce_latency(tree, mp.two_param(wire));
+
+  // Per chain position: children still outstanding, parent position, and
+  // the CPU cursor.
+  const int n = tree.num_nodes();
+  std::vector<int> pending(n, 0);
+  std::vector<int> parent(n, -1);
+  std::vector<Time> next_free(n, t0);
+  for (const SendEvent& ev : tree.sends) {
+    pending[ev.sender_pos] += 1;
+    parent[ev.receiver_pos] = ev.sender_pos;
+  }
+
+  const long long base_conflicts = sim.stats().channel_conflicts;
+
+  // Sends one partial up from `pos` (which has gathered its subtree).
+  auto send_up = [&](int pos, Time ready_cpu) {
+    sim::Message m;
+    m.src = tree.node(pos);
+    m.dst = tree.node(parent[pos]);
+    m.flits = flits;
+    m.ready_time = std::max(next_free[pos], ready_cpu) + mp.t_send(wire);
+    m.tag = pos;  // identifies the child subtree
+    next_free[pos] = std::max(next_free[pos], ready_cpu) + mp.t_hold(wire);
+    sim.post(m);
+    ++res.messages;
+  };
+
+  Time root_done = t0;
+  sim.set_delivery_handler([&](const sim::Message& m) {
+    const int child_pos = m.tag;
+    const int pos = parent[child_pos];
+    // Combine: receive processing occupies the parent's CPU.
+    const Time begin = std::max(m.delivered, next_free[pos]);
+    const Time done = begin + mp.t_recv(wire);
+    next_free[pos] = done;
+    if (--pending[pos] == 0) {
+      if (pos == tree.chain.source_pos) {
+        root_done = done;
+      } else {
+        send_up(pos, done);
+      }
+    }
+  });
+
+  // Leaves start immediately.
+  bool any = false;
+  for (int pos = 0; pos < n; ++pos) {
+    if (tree.out[pos].empty() && pos != tree.chain.source_pos) {
+      send_up(pos, t0);
+      any = true;
+    }
+  }
+  if (any) sim.run_until_idle();
+  sim.set_delivery_handler(nullptr);
+
+  for (int pos = 0; pos < n; ++pos)
+    if (pending[pos] != 0)
+      throw std::logic_error("run_reduce: node never gathered all children");
+  res.latency = root_done - t0;
+  res.channel_conflicts = sim.stats().channel_conflicts - base_conflicts;
+  return res;
+}
+
+BarrierResult CollectiveRuntime::run_barrier(sim::Simulator& sim,
+                                             const MulticastTree& tree,
+                                             Bytes payload) const {
+  BarrierResult res;
+  const Time start = sim.now();
+  res.reduce = run_reduce(sim, tree, payload, start);
+  res.bcast = mcast_.run(sim, tree, payload, start + res.reduce.latency);
+  res.latency = res.reduce.latency + res.bcast.latency;
+  return res;
+}
+
+}  // namespace pcm::rt

@@ -1,0 +1,54 @@
+// Collective operations layered on multicast trees: reduction (gather
+// with combining) runs the tree in reverse — leaves send up, every
+// internal node combines its children's partials and forwards one
+// message to its parent — and barrier composes a reduction with a
+// multicast over the same tree.
+//
+// The paper's theorems cover the downward (multicast) direction only.
+// Dimension-ordered routing is not symmetric (the reverse of an XY path
+// is a YX path), so a contention-free multicast tree is *not*
+// automatically contention-free upward; run_reduce therefore reports
+// blocked cycles just like run() and the benches quantify the asymmetry.
+#pragma once
+
+#include "runtime/mcast_runtime.hpp"
+
+namespace pcm::rt {
+
+struct ReduceResult {
+  Time latency = 0;           ///< leaves-start to root-combines-last
+  Time model_latency = 0;     ///< ideal-model bound (== multicast bound)
+  long long channel_conflicts = 0;
+  int messages = 0;
+};
+
+struct BarrierResult {
+  ReduceResult reduce;   ///< the up phase
+  McastResult bcast;     ///< the down phase (release)
+  Time latency = 0;      ///< total
+};
+
+class CollectiveRuntime {
+ public:
+  explicit CollectiveRuntime(RuntimeConfig cfg) : mcast_(cfg) {}
+  explicit CollectiveRuntime(MulticastRuntime rtm) : mcast_(std::move(rtm)) {}
+
+  [[nodiscard]] const RuntimeConfig& config() const { return mcast_.config(); }
+  [[nodiscard]] const MulticastRuntime& multicast() const { return mcast_; }
+
+  /// Reduces `payload`-byte partials over `tree` onto the tree's source.
+  /// Every leaf starts at `t0`; internal nodes combine as children
+  /// arrive (receive ops serialize on the node's CPU).
+  ReduceResult run_reduce(sim::Simulator& sim, const MulticastTree& tree,
+                          Bytes payload, Time t0 = 0) const;
+
+  /// Barrier: reduce to the source, then multicast the release message
+  /// down the same tree.
+  BarrierResult run_barrier(sim::Simulator& sim, const MulticastTree& tree,
+                            Bytes payload = 0) const;
+
+ private:
+  MulticastRuntime mcast_;
+};
+
+}  // namespace pcm::rt

@@ -1,0 +1,179 @@
+#include "runtime/mcast_runtime.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+namespace pcm::rt {
+
+Bytes MulticastRuntime::wire_bytes(Bytes payload, int interval_nodes) const {
+  Bytes header = cfg_.base_header_bytes;
+  if (cfg_.carry_address_list) header += cfg_.addr_bytes * interval_nodes;
+  return payload + header;
+}
+
+int MulticastRuntime::wire_flits(Bytes payload, int interval_nodes) const {
+  const Time f = cfg_.machine.serialization(wire_bytes(payload, interval_nodes));
+  return std::max<int>(1, static_cast<int>(f));
+}
+
+McastResult MulticastRuntime::run(sim::Simulator& sim, const MulticastTree& tree,
+                                  Bytes payload, Time t0) const {
+  if (!sim.idle()) throw std::logic_error("MulticastRuntime::run: simulator busy");
+  if (t0 < sim.now()) t0 = sim.now();
+  const MachineParams& mp = cfg_.machine;
+
+  McastResult res;
+  res.recv_complete.assign(tree.num_nodes(), -1);
+  res.model_latency =
+      model_latency(tree, mp.two_param(wire_bytes(payload, 1)));
+
+  // Per chain position and send engine: the earliest cycle the engine may
+  // start its next send operation (CPU serialization + t_hold spacing;
+  // distinct engines overlap on p-port machines).
+  const int engines = std::max(1, cfg_.send_engines);
+  std::vector<std::vector<Time>> next_op(tree.num_nodes(),
+                                         std::vector<Time>(engines, 0));
+  const long long base_conflicts = sim.stats().channel_conflicts;
+
+  // Issues all sends of node `pos`, which became active (finished
+  // receiving, or started the multicast) at time `at`.
+  auto activate = [&](int pos, Time at) {
+    for (Time& t : next_op[pos]) t = std::max(t, at);
+    int e = 0;
+    for (int idx : tree.out[pos]) {
+      const SendEvent& ev = tree.sends[idx];
+      const int interval = ev.sub_hi - ev.sub_lo + 1;
+      const Bytes wire = wire_bytes(payload, interval);
+      sim::Message m;
+      m.src = tree.node(ev.sender_pos);
+      m.dst = tree.node(ev.receiver_pos);
+      m.flits = wire_flits(payload, interval);
+      m.ready_time = next_op[pos][e] + mp.t_send(wire);
+      m.tag = idx;
+      sim.post(m);
+      ++res.messages;
+      next_op[pos][e] += mp.t_hold(wire);
+      e = (e + 1) % engines;
+    }
+  };
+
+  sim.set_delivery_handler([&](const sim::Message& m) {
+    const SendEvent& ev = tree.sends.at(m.tag);
+    const int interval = ev.sub_hi - ev.sub_lo + 1;
+    const Time done = m.delivered + mp.t_recv(wire_bytes(payload, interval));
+    res.recv_complete[ev.receiver_pos] = done;
+    activate(ev.receiver_pos, done);
+  });
+
+  activate(tree.chain.source_pos, t0);
+  sim.run_until_idle();
+  sim.set_delivery_handler(nullptr);
+
+  Time last = t0;
+  for (int pos = 0; pos < tree.num_nodes(); ++pos) {
+    if (pos == tree.chain.source_pos) continue;
+    if (res.recv_complete[pos] < 0)
+      throw std::logic_error("MulticastRuntime::run: destination never received");
+    last = std::max(last, res.recv_complete[pos]);
+  }
+  res.latency = last - t0;
+  res.channel_conflicts = sim.stats().channel_conflicts - base_conflicts;
+  res.block_cycles = res.channel_conflicts;
+  return res;
+}
+
+std::vector<McastResult> MulticastRuntime::run_concurrent(
+    sim::Simulator& sim, std::vector<GroupRun> groups) const {
+  if (!sim.idle()) throw std::logic_error("run_concurrent: simulator busy");
+  const MachineParams& mp = cfg_.machine;
+  const Time origin = sim.now();
+
+  struct TaggedSend {
+    int group;
+    int send_idx;
+  };
+  std::vector<TaggedSend> tags;
+  std::vector<McastResult> results(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    results[g].recv_complete.assign(groups[g].tree.num_nodes(), -1);
+    results[g].model_latency = model_latency(
+        groups[g].tree, mp.two_param(wire_bytes(groups[g].payload, 1)));
+  }
+
+  // One CPU per node, shared across groups: a node's software operations
+  // (sends and receive processing) execute serially.
+  std::vector<Time> next_free(sim.topology().num_nodes(), origin);
+
+  // Message ids per group, to attribute blocked cycles afterwards.
+  std::vector<std::vector<sim::MsgId>> group_msgs(groups.size());
+
+  std::function<void(int, int, Time)> activate = [&](int g, int pos, Time at) {
+    const GroupRun& gr = groups[g];
+    const NodeId node = gr.tree.node(pos);
+    next_free[node] = std::max(next_free[node], at);
+    for (int idx : gr.tree.out[pos]) {
+      const SendEvent& ev = gr.tree.sends[idx];
+      const int interval = ev.sub_hi - ev.sub_lo + 1;
+      const Bytes wire = wire_bytes(gr.payload, interval);
+      sim::Message m;
+      m.src = node;
+      m.dst = gr.tree.node(ev.receiver_pos);
+      m.flits = wire_flits(gr.payload, interval);
+      m.ready_time = next_free[node] + mp.t_send(wire);
+      m.tag = static_cast<int>(tags.size());
+      tags.push_back(TaggedSend{g, idx});
+      group_msgs[g].push_back(sim.post(m));
+      ++results[g].messages;
+      next_free[node] += mp.t_hold(wire);
+    }
+  };
+
+  sim.set_delivery_handler([&](const sim::Message& m) {
+    const TaggedSend& ts = tags.at(m.tag);
+    const GroupRun& gr = groups[ts.group];
+    const SendEvent& ev = gr.tree.sends.at(ts.send_idx);
+    const NodeId node = gr.tree.node(ev.receiver_pos);
+    const int interval = ev.sub_hi - ev.sub_lo + 1;
+    // Receive processing occupies the (possibly shared) CPU.
+    const Time begin = std::max(m.delivered, next_free[node]);
+    const Time done = begin + mp.t_recv(wire_bytes(gr.payload, interval));
+    next_free[node] = done;
+    results[ts.group].recv_complete[ev.receiver_pos] = done;
+    activate(ts.group, ev.receiver_pos, done);
+  });
+
+  for (size_t g = 0; g < groups.size(); ++g)
+    activate(static_cast<int>(g), groups[g].tree.chain.source_pos,
+             origin + groups[g].start);
+  sim.run_until_idle();
+  sim.set_delivery_handler(nullptr);
+
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const GroupRun& gr = groups[g];
+    Time last = origin + gr.start;
+    for (int pos = 0; pos < gr.tree.num_nodes(); ++pos) {
+      if (pos == gr.tree.chain.source_pos) continue;
+      if (results[g].recv_complete[pos] < 0)
+        throw std::logic_error("run_concurrent: destination never received");
+      last = std::max(last, results[g].recv_complete[pos]);
+    }
+    results[g].latency = last - (origin + gr.start);
+    for (sim::MsgId id : group_msgs[g])
+      results[g].block_cycles += sim.messages().at(id).block_cycles;
+    results[g].channel_conflicts = results[g].block_cycles;
+  }
+  return results;
+}
+
+McastResult MulticastRuntime::run_algorithm(sim::Simulator& sim, McastAlgorithm alg,
+                                            NodeId source,
+                                            std::span<const NodeId> dests,
+                                            Bytes payload,
+                                            const MeshShape* shape) const {
+  const TwoParam tp = cfg_.machine.two_param(wire_bytes(payload, 1));
+  const MulticastTree tree = build_multicast(alg, source, dests, tp, shape);
+  return run(sim, tree, payload, sim.now());
+}
+
+}  // namespace pcm::rt

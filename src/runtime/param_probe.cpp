@@ -1,0 +1,47 @@
+#include "runtime/param_probe.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "analysis/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace pcm::rt {
+
+ProbeResult probe_parameters(const sim::Topology& topo, const MachineParams& machine,
+                             Bytes bytes, int samples, std::uint64_t seed) {
+  if (samples < 1) throw std::invalid_argument("probe_parameters: samples >= 1");
+  if (topo.num_nodes() < 2)
+    throw std::invalid_argument("probe_parameters: need >= 2 nodes");
+  analysis::Rng rng(seed);
+
+  ProbeResult r;
+  r.samples = samples;
+  r.t_net_min = kTimeInfinity;
+  Time total = 0;
+  const int flits = std::max<Time>(1, machine.serialization(bytes));
+  for (int s = 0; s < samples; ++s) {
+    const NodeId src = static_cast<NodeId>(rng.below(topo.num_nodes()));
+    NodeId dst = src;
+    while (dst == src) dst = static_cast<NodeId>(rng.below(topo.num_nodes()));
+
+    sim::Simulator sim(topo);
+    sim::Message m;
+    m.src = src;
+    m.dst = dst;
+    m.flits = static_cast<int>(flits);
+    m.ready_time = 0;
+    sim.post(m);
+    sim.run_until_idle();
+    const Time net = sim.messages().at(0).delivered + 1;  // handed to NI at 0
+    total += net;
+    r.t_net_min = std::min(r.t_net_min, net);
+    r.t_net_max = std::max(r.t_net_max, net);
+  }
+  r.t_net = total / samples;
+  r.t_hold = machine.t_hold(bytes);
+  r.t_end = machine.t_send(bytes) + r.t_net + machine.t_recv(bytes);
+  return r;
+}
+
+}  // namespace pcm::rt

@@ -1,0 +1,33 @@
+// Parameter measurement "at the user-application level" (ref [5],
+// MSU-CPS-ACS-103): instead of trusting the machine description, run
+// point-to-point microbenchmarks on the simulated network and derive
+// (t_hold, t_end) from observation.  The tuned algorithms then consume
+// the *measured* parameters — exactly the workflow the paper advocates.
+#pragma once
+
+#include <cstdint>
+
+#include "core/model.hpp"
+#include "sim/topology.hpp"
+
+namespace pcm::rt {
+
+struct ProbeResult {
+  Time t_net = 0;      ///< mean measured NI-handoff -> tail-consumed time
+  Time t_net_min = 0;
+  Time t_net_max = 0;
+  Time t_hold = 0;     ///< software hold (from the machine's send path)
+  Time t_end = 0;      ///< t_send + measured t_net + t_recv
+  int samples = 0;
+
+  [[nodiscard]] TwoParam two_param() const { return TwoParam{t_hold, t_end}; }
+};
+
+/// Sends one `bytes`-byte message between `samples` random node pairs of
+/// `topo` (fresh simulator each time, so measurements are contention-free)
+/// and combines the measured network time with the software overheads of
+/// `machine`.
+ProbeResult probe_parameters(const sim::Topology& topo, const MachineParams& machine,
+                             Bytes bytes, int samples, std::uint64_t seed);
+
+}  // namespace pcm::rt

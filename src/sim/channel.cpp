@@ -1,0 +1,28 @@
+#include "sim/channel.hpp"
+
+#include <stdexcept>
+
+namespace pcm::sim {
+
+FlitFifo::FlitFifo(int capacity) : capacity_(capacity) {
+  if (capacity < 1) throw std::invalid_argument("FlitFifo: capacity must be >= 1");
+  slots_.resize(capacity);
+}
+
+void FlitFifo::push(const Flit& f, Time now) {
+  if (full()) throw std::logic_error("FlitFifo::push on full buffer (flow-control bug)");
+  const int pos = (head_ + size_) % capacity_;
+  slots_[pos] = Slot{f, now};
+  ++size_;
+}
+
+Flit FlitFifo::pop(Time now) {
+  if (empty()) throw std::logic_error("FlitFifo::pop on empty buffer");
+  Flit f = slots_[head_].flit;
+  head_ = (head_ + 1) % capacity_;
+  --size_;
+  last_pop_ = now;
+  return f;
+}
+
+}  // namespace pcm::sim

@@ -1,0 +1,57 @@
+// Flit buffer at a router input port: a small ring buffer that remembers
+// each flit's arrival cycle so the router pipeline delay can be modelled
+// as a minimum residency time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sim/message.hpp"
+
+namespace pcm::sim {
+
+struct Flit {
+  MsgId msg = kInvalidMsg;
+  bool head = false;
+  bool tail = false;
+};
+
+class FlitFifo {
+ public:
+  FlitFifo() = default;
+  explicit FlitFifo(int capacity);
+
+  [[nodiscard]] int capacity() const { return capacity_; }
+  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == capacity_; }
+
+  /// Oldest flit; FIFO must be non-empty.
+  [[nodiscard]] const Flit& front() const { return slots_[head_].flit; }
+  [[nodiscard]] Time front_entry() const { return slots_[head_].entry; }
+
+  void push(const Flit& f, Time now);
+  Flit pop(Time now);
+
+  /// Flow control against start-of-cycle occupancy: a flit popped earlier
+  /// in the same cycle has not yet freed its slot for same-cycle pushes
+  /// (one-cycle credit turnaround).  Each FIFO has a single writer, so at
+  /// most one push per cycle can ask.
+  [[nodiscard]] bool can_accept(Time now) const {
+    return size_ + (last_pop_ == now ? 1 : 0) < capacity_;
+  }
+
+ private:
+  struct Slot {
+    Flit flit;
+    Time entry = 0;
+  };
+  std::vector<Slot> slots_;
+  int capacity_ = 0;
+  int head_ = 0;
+  int size_ = 0;
+  Time last_pop_ = -1;
+};
+
+}  // namespace pcm::sim

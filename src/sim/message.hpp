@@ -1,0 +1,52 @@
+// Messages tracked by the flit-level simulator.
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace pcm::sim {
+
+using MsgId = int;
+inline constexpr MsgId kInvalidMsg = -1;
+
+/// One wormhole message.  The simulator moves `flits` flits from src to
+/// dst; payload semantics (data bytes, carried address lists) live in the
+/// runtime layer and are referenced through `tag`.
+struct Message {
+  MsgId id = kInvalidMsg;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  int flits = 1;
+
+  /// Earliest cycle the NI may start injecting (send software done).
+  Time ready_time = 0;
+
+  int tag = -1;  ///< opaque runtime payload handle
+
+  // --- filled in by the simulator ---
+  Time inject_start = -1;   ///< first flit entered the source router
+  Time inject_done = -1;    ///< last flit left the NI
+  Time delivered = -1;      ///< tail flit consumed at dst
+  Time block_cycles = 0;    ///< cycles the head waited on a busy channel
+};
+
+/// Dense, append-only message table.
+class MessageTable {
+ public:
+  MsgId add(Message m) {
+    m.id = static_cast<MsgId>(messages_.size());
+    messages_.push_back(m);
+    return m.id;
+  }
+  [[nodiscard]] Message& at(MsgId id) { return messages_.at(id); }
+  [[nodiscard]] const Message& at(MsgId id) const { return messages_.at(id); }
+  [[nodiscard]] int size() const { return static_cast<int>(messages_.size()); }
+  [[nodiscard]] const std::vector<Message>& all() const { return messages_; }
+  void clear() { messages_.clear(); }
+
+ private:
+  std::vector<Message> messages_;
+};
+
+}  // namespace pcm::sim

@@ -1,0 +1,29 @@
+// Observation hooks for the simulator: channel reservations, releases,
+// and blocked-head events, in commit order.  Observers see the ground
+// truth of wormhole switching (which message held which channel when),
+// which the analysis layer uses for trace recording, utilization
+// accounting, and machine-checking contention-freedom.
+#pragma once
+
+#include "core/types.hpp"
+#include "sim/message.hpp"
+
+namespace pcm::sim {
+
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+
+  /// Output channel (router, out_port) reserved for `msg` (its head won
+  /// arbitration) at cycle `t`.
+  virtual void on_reserve(int router, int out_port, MsgId msg, Time t) = 0;
+
+  /// The reservation ended (tail flit crossed) at cycle `t`.
+  virtual void on_release(int router, int out_port, MsgId msg, Time t) = 0;
+
+  /// `msg`'s head requested an output at (router, in_port) but every
+  /// candidate channel was held by another message.
+  virtual void on_blocked(int router, int in_port, MsgId msg, Time t) = 0;
+};
+
+}  // namespace pcm::sim

@@ -1,0 +1,28 @@
+#include "sim/router.hpp"
+
+#include <stdexcept>
+
+namespace pcm::sim {
+
+Router::Router(int radix, int fifo_capacity)
+    : in_(radix, FlitFifo(fifo_capacity)),
+      in_assigned_(radix, -1),
+      out_holder_(radix, -1) {}
+
+void Router::reserve(int in_port, int out_port) {
+  if (in_assigned_[in_port] != -1 || out_holder_[out_port] != -1)
+    throw std::logic_error("Router::reserve on busy port");
+  in_assigned_[in_port] = out_port;
+  out_holder_[out_port] = in_port;
+  ++activity_;
+}
+
+void Router::release(int in_port, int out_port) {
+  if (in_assigned_[in_port] != out_port || out_holder_[out_port] != in_port)
+    throw std::logic_error("Router::release on unmatched ports");
+  in_assigned_[in_port] = -1;
+  out_holder_[out_port] = -1;
+  --activity_;
+}
+
+}  // namespace pcm::sim

@@ -1,0 +1,58 @@
+// Input-buffered wormhole router.
+//
+// Per cycle the router (driven by the Simulator) performs:
+//   * routing/arbitration: head flits at the front of an unassigned input
+//     request an output; a free output is reserved for the whole message
+//     (head through tail), which is the defining property of wormhole
+//     switching — a blocked message holds its channels in place;
+//   * switch traversal: every reserved (input, output) pair forwards at
+//     most one flit per cycle, subject to downstream buffer space and the
+//     minimum router residency (`router_delay`).
+//
+// Arbitration is rotating-priority over inputs, which is starvation-free
+// for the bounded traffic the multicast runtime generates.
+#pragma once
+
+#include <vector>
+
+#include "sim/channel.hpp"
+
+namespace pcm::sim {
+
+class Router {
+ public:
+  Router() = default;
+  Router(int radix, int fifo_capacity);
+
+  [[nodiscard]] int radix() const { return static_cast<int>(in_.size()); }
+
+  [[nodiscard]] FlitFifo& in(int port) { return in_[port]; }
+  [[nodiscard]] const FlitFifo& in(int port) const { return in_[port]; }
+
+  /// Output port currently reserved by input `port`, or -1.
+  [[nodiscard]] int assigned_out(int port) const { return in_assigned_[port]; }
+  /// Input currently holding output `port`, or -1.
+  [[nodiscard]] int out_holder(int port) const { return out_holder_[port]; }
+
+  void reserve(int in_port, int out_port);
+  void release(int in_port, int out_port);
+
+  /// Rotating arbitration start index; call bump() after each cycle that
+  /// performed arbitration so priority rotates.
+  [[nodiscard]] int rr_start() const { return rr_start_; }
+  void bump() { rr_start_ = (rr_start_ + 1) % radix(); }
+
+  /// Number of flits buffered across all inputs plus held outputs; the
+  /// simulator skips routers whose activity is zero.
+  [[nodiscard]] int activity() const { return activity_; }
+  void add_activity(int d) { activity_ += d; }
+
+ private:
+  std::vector<FlitFifo> in_;
+  std::vector<int> in_assigned_;
+  std::vector<int> out_holder_;
+  int rr_start_ = 0;
+  int activity_ = 0;
+};
+
+}  // namespace pcm::sim

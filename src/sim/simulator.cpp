@@ -1,0 +1,228 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace pcm::sim {
+
+Simulator::Simulator(const Topology& topo, SimConfig cfg)
+    : topo_(topo), cfg_(cfg) {
+  if (cfg_.fifo_capacity < cfg_.router_delay + 1) {
+    // A flit rests router_delay cycles in every buffer; keep enough slots
+    // that residency does not throttle a fully pipelined channel.
+    cfg_.fifo_capacity = static_cast<int>(cfg_.router_delay) + 1;
+  }
+  routers_.reserve(topo.num_routers());
+  for (int r = 0; r < topo.num_routers(); ++r)
+    routers_.emplace_back(topo.radix(), cfg_.fifo_capacity);
+  nics_.resize(topo.num_nodes());
+  for (Nic& nic : nics_) nic.engines.resize(topo.ports_per_node());
+}
+
+MsgId Simulator::post(Message m) {
+  if (m.ready_time < cycle_)
+    throw std::invalid_argument("Simulator::post: ready_time in the past");
+  if (m.src == m.dst) throw std::invalid_argument("Simulator::post: src == dst");
+  if (m.flits < 1) throw std::invalid_argument("Simulator::post: flits must be >= 1");
+  if (m.src < 0 || m.src >= topo_.num_nodes() || m.dst < 0 || m.dst >= topo_.num_nodes())
+    throw std::out_of_range("Simulator::post: node outside topology");
+  const MsgId id = messages_.add(m);
+  posts_.push(Post{m.ready_time, post_seq_++, id});
+  ++undelivered_;
+  return id;
+}
+
+bool Simulator::network_quiescent() const {
+  return inflight_flits_ == 0 && busy_nics_ == 0;
+}
+
+bool Simulator::idle() const {
+  return posts_.empty() && network_quiescent();
+}
+
+Time Simulator::run_until_idle(Time max_cycles) {
+  Time stalled = 0;
+  while (!idle() && cycle_ < max_cycles) {
+    if (network_quiescent()) {
+      // Nothing can move before the next post becomes ready: fast-forward.
+      cycle_ = std::max(cycle_, posts_.top().ready);
+      stalled = 0;
+    }
+    progress_ = false;
+    step();
+    stalled = progress_ ? 0 : stalled + 1;
+    if (stalled > cfg_.watchdog_cycles)
+      throw std::runtime_error("Simulator watchdog: no progress for " +
+                               std::to_string(stalled) + " cycles\n" + stall_dump());
+  }
+  stats_.cycles = cycle_;
+  return cycle_;
+}
+
+void Simulator::release_due_posts() {
+  while (!posts_.empty() && posts_.top().ready <= cycle_) {
+    const MsgId id = posts_.top().id;
+    posts_.pop();
+    Nic& nic = nics_[messages_.at(id).src];
+    if (!nic.busy()) ++busy_nics_;
+    nic.queue.push_back(id);
+  }
+}
+
+void Simulator::arbitrate(int r) {
+  Router& router = routers_[r];
+  const int radix = topo_.radix();
+  for (int i = 0; i < radix; ++i) {
+    const int p = (router.rr_start() + i) % radix;
+    if (router.assigned_out(p) != -1) continue;
+    const FlitFifo& fifo = router.in(p);
+    if (fifo.empty()) continue;
+    const Flit& front = fifo.front();
+    if (!front.head)
+      throw std::logic_error("wormhole invariant violated: unassigned body flit at front");
+    if (cycle_ - fifo.front_entry() < cfg_.router_delay) continue;
+    Message& msg = messages_.at(front.msg);
+    route_scratch_.clear();
+    topo_.route(r, p, msg.src, msg.dst, route_scratch_);
+    if (route_scratch_.empty())
+      throw std::logic_error("routing returned no candidates at " +
+                             topo_.channel_name(r, p));
+    bool granted = false;
+    for (int q : route_scratch_) {
+      if (router.out_holder(q) == -1) {
+        router.reserve(p, q);
+        if (observer_ != nullptr) observer_->on_reserve(r, q, front.msg, cycle_);
+        granted = true;
+        break;
+      }
+    }
+    if (!granted) {
+      if (observer_ != nullptr) observer_->on_blocked(r, p, front.msg, cycle_);
+      // Every candidate channel is reserved by a different message: this
+      // is exactly the wormhole contention the paper's node ordering
+      // eliminates.
+      ++msg.block_cycles;
+      ++stats_.channel_conflicts;
+    }
+  }
+  router.bump();
+}
+
+void Simulator::transfer(int r) {
+  Router& router = routers_[r];
+  for (int q = 0; q < topo_.radix(); ++q) {
+    const int p = router.out_holder(q);
+    if (p == -1) continue;
+    FlitFifo& fifo = router.in(p);
+    if (fifo.empty()) continue;  // wormhole bubble: channel held, no flit yet
+    if (cycle_ - fifo.front_entry() < cfg_.router_delay) continue;
+    const NodeId ej = topo_.ejector(r, q);
+    if (ej != kInvalidNode) {
+      const Flit flit = fifo.pop(cycle_);
+      router.add_activity(-1);
+      --inflight_flits_;
+      ++stats_.flit_hops;
+      progress_ = true;
+      if (flit.tail) {
+        router.release(p, q);
+        if (observer_ != nullptr) observer_->on_release(r, q, flit.msg, cycle_);
+        Message& msg = messages_.at(flit.msg);
+        msg.delivered = cycle_;
+        ++stats_.messages_delivered;
+        --undelivered_;
+        delivered_now_.push_back(flit.msg);
+      }
+      continue;
+    }
+    const PortRef d = topo_.link(r, q);
+    if (!d.valid())
+      throw std::logic_error("message routed onto unwired channel " +
+                             topo_.channel_name(r, q));
+    if (!routers_[d.router].in(d.port).can_accept(cycle_)) continue;
+    const Flit flit = fifo.pop(cycle_);
+    router.add_activity(-1);
+    routers_[d.router].in(d.port).push(flit, cycle_);
+    routers_[d.router].add_activity(1);
+    ++stats_.flit_hops;
+    progress_ = true;
+    if (flit.tail) {
+      router.release(p, q);
+      if (observer_ != nullptr) observer_->on_release(r, q, flit.msg, cycle_);
+    }
+  }
+}
+
+void Simulator::inject(NodeId n) {
+  Nic& nic = nics_[n];
+  for (size_t e = 0; e < nic.engines.size(); ++e) {
+    Nic::Engine& eng = nic.engines[e];
+    if (eng.active == kInvalidMsg) {
+      if (nic.queue.empty()) continue;
+      eng.active = nic.queue.front();
+      nic.queue.pop_front();
+      eng.flits_sent = 0;
+    }
+    Message& msg = messages_.at(eng.active);
+    const PortRef a = topo_.node_attach_port(n, static_cast<int>(e));
+    if (!routers_[a.router].in(a.port).can_accept(cycle_)) continue;
+    Flit flit;
+    flit.msg = eng.active;
+    flit.head = (eng.flits_sent == 0);
+    flit.tail = (eng.flits_sent == msg.flits - 1);
+    if (flit.head) msg.inject_start = cycle_;
+    routers_[a.router].in(a.port).push(flit, cycle_);
+    routers_[a.router].add_activity(1);
+    ++inflight_flits_;
+    stats_.max_inflight_flits = std::max(stats_.max_inflight_flits, inflight_flits_);
+    ++eng.flits_sent;
+    progress_ = true;
+    if (flit.tail) {
+      msg.inject_done = cycle_;
+      eng.active = kInvalidMsg;
+    }
+  }
+  if (!nic.busy()) --busy_nics_;
+}
+
+void Simulator::step() {
+  release_due_posts();
+  for (int r = 0; r < topo_.num_routers(); ++r)
+    if (routers_[r].activity() > 0) arbitrate(r);
+  for (int r = 0; r < topo_.num_routers(); ++r)
+    if (routers_[r].activity() > 0) transfer(r);
+  for (NodeId n = 0; n < topo_.num_nodes(); ++n)
+    if (nics_[n].busy()) inject(n);
+  ++cycle_;
+  if (!delivered_now_.empty()) {
+    // Deliveries fire after the cycle commits so handlers observe now() >
+    // delivery cycle and may immediately post follow-up messages.
+    std::vector<MsgId> batch;
+    batch.swap(delivered_now_);
+    if (on_delivery_)
+      for (MsgId id : batch) on_delivery_(messages_.at(id));
+  }
+}
+
+std::string Simulator::stall_dump() const {
+  std::ostringstream os;
+  os << "cycle=" << cycle_ << " inflight=" << inflight_flits_
+     << " busy_nics=" << busy_nics_ << " undelivered=" << undelivered_ << "\n";
+  for (int r = 0; r < topo_.num_routers(); ++r) {
+    const Router& router = routers_[r];
+    if (router.activity() == 0) continue;
+    for (int p = 0; p < topo_.radix(); ++p) {
+      if (router.in(p).empty() && router.assigned_out(p) == -1) continue;
+      os << "  " << topo_.channel_name(r, p) << ": occ=" << router.in(p).size()
+         << " assigned_out=" << router.assigned_out(p);
+      if (!router.in(p).empty()) {
+        os << " front_msg=" << router.in(p).front().msg
+           << (router.in(p).front().head ? " (head)" : "");
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace pcm::sim

@@ -1,0 +1,131 @@
+// Cycle-driven flit-level wormhole network simulator.
+//
+// The simulator owns the routers and the per-node network interfaces
+// (NIs).  Clients (normally the multicast runtime) post Messages with a
+// `ready_time` — the cycle the sending software hands the message to the
+// NI — and receive a callback when the tail flit is consumed at the
+// destination.  The engine fast-forwards over cycles in which the network
+// is empty and no NI has work, so simulations whose time is dominated by
+// software overheads remain cheap.
+//
+// One-port architecture (as in the paper): each node has a single
+// injection channel and a single consumption channel; outstanding sends
+// from one node serialize at its NI.
+//
+// Contention instrumentation: whenever a routed head flit is denied
+// because every candidate output channel is reserved by another message,
+// the cycle is charged to Message::block_cycles and to
+// SimStats::channel_conflicts.  A schedule is contention-free on a run
+// exactly when channel_conflicts == 0.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "sim/observer.hpp"
+#include "sim/router.hpp"
+#include "sim/topology.hpp"
+
+namespace pcm::sim {
+
+struct SimConfig {
+  int fifo_capacity = 4;        ///< input buffer depth, flits
+  Time router_delay = 1;        ///< min cycles a flit rests in each router
+  Time watchdog_cycles = 500000;  ///< abort after this many stalled cycles
+};
+
+struct SimStats {
+  Time cycles = 0;                 ///< last executed cycle + 1
+  long long flit_hops = 0;         ///< flit-channel traversals
+  long long channel_conflicts = 0; ///< head-blocked-by-other-message cycles
+  int messages_delivered = 0;
+  int max_inflight_flits = 0;
+};
+
+class Simulator {
+ public:
+  /// Called when a message's tail flit is consumed; handlers may post().
+  using DeliveryHandler = std::function<void(const Message&)>;
+
+  Simulator(const Topology& topo, SimConfig cfg = {});
+
+  /// Registers a message for injection at m.ready_time (must be >= now()).
+  MsgId post(Message m);
+
+  void set_delivery_handler(DeliveryHandler h) { on_delivery_ = std::move(h); }
+
+  /// Installs an observer for channel-level events (nullptr to remove).
+  /// Not owned; must outlive the simulation.
+  void set_observer(SimObserver* obs) { observer_ = obs; }
+
+  /// Runs until every posted message is delivered or `max_cycles` elapse.
+  /// Returns the cycle count; throws std::runtime_error on watchdog
+  /// expiry (routing deadlock / flow-control bug).
+  Time run_until_idle(Time max_cycles = kTimeInfinity);
+
+  [[nodiscard]] bool idle() const;
+  [[nodiscard]] Time now() const { return cycle_; }
+
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+  [[nodiscard]] MessageTable& messages() { return messages_; }
+  [[nodiscard]] const MessageTable& messages() const { return messages_; }
+  [[nodiscard]] const SimStats& stats() const { return stats_; }
+
+ private:
+  struct Nic {
+    /// One injection engine per NI port (one-port machines have one).
+    struct Engine {
+      MsgId active = kInvalidMsg;
+      int flits_sent = 0;
+    };
+    std::deque<MsgId> queue;  ///< released, awaiting an engine (FIFO)
+    std::vector<Engine> engines;
+    [[nodiscard]] bool busy() const {
+      if (!queue.empty()) return true;
+      for (const Engine& e : engines)
+        if (e.active != kInvalidMsg) return true;
+      return false;
+    }
+  };
+
+  struct Post {
+    Time ready;
+    long long seq;
+    MsgId id;
+    bool operator>(const Post& o) const {
+      return ready != o.ready ? ready > o.ready : seq > o.seq;
+    }
+  };
+
+  void step();
+  void release_due_posts();
+  void arbitrate(int r);
+  void transfer(int r);
+  void inject(NodeId n);
+  [[nodiscard]] bool network_quiescent() const;
+  [[nodiscard]] std::string stall_dump() const;
+
+  const Topology& topo_;
+  SimConfig cfg_;
+  std::vector<Router> routers_;
+  std::vector<Nic> nics_;
+  MessageTable messages_;
+  std::priority_queue<Post, std::vector<Post>, std::greater<>> posts_;
+  long long post_seq_ = 0;
+  std::vector<MsgId> delivered_now_;
+  std::vector<int> route_scratch_;
+  DeliveryHandler on_delivery_;
+  SimObserver* observer_ = nullptr;
+
+  Time cycle_ = 0;
+  int inflight_flits_ = 0;
+  int busy_nics_ = 0;
+  int undelivered_ = 0;
+  bool progress_ = false;
+  SimStats stats_;
+};
+
+}  // namespace pcm::sim

@@ -1,0 +1,100 @@
+// Tests for the high-level algorithm constructors.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/algorithms.hpp"
+
+namespace pcm {
+namespace {
+
+const TwoParam kTp{20, 55};
+
+TEST(AlgorithmNames, AreStable) {
+  EXPECT_EQ(algorithm_name(McastAlgorithm::kOptMesh), "OPT-Mesh");
+  EXPECT_EQ(algorithm_name(McastAlgorithm::kUMesh), "U-Mesh");
+  EXPECT_EQ(algorithm_name(McastAlgorithm::kOptMin), "OPT-Min");
+  EXPECT_EQ(algorithm_name(McastAlgorithm::kUMin), "U-Min");
+  EXPECT_EQ(algorithm_name(McastAlgorithm::kOptTree), "OPT-Tree");
+  EXPECT_EQ(algorithm_name(McastAlgorithm::kSequential), "Sequential");
+}
+
+TEST(BuildMulticast, MeshAlgorithmsRequireShape) {
+  const std::array<NodeId, 2> dests{1, 2};
+  EXPECT_THROW(build_multicast(McastAlgorithm::kOptMesh, 0, dests, kTp, nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(build_multicast(McastAlgorithm::kUMesh, 0, dests, kTp, nullptr),
+               std::invalid_argument);
+}
+
+TEST(BuildMulticast, OptMeshUsesDimensionOrderedChain) {
+  const MeshShape s = MeshShape::square2d(6);
+  const std::array<NodeId, 3> dests{s.node_at({4, 0}), s.node_at({1, 2}),
+                                    s.node_at({0, 1})};
+  const MulticastTree t =
+      build_multicast(McastAlgorithm::kOptMesh, s.node_at({3, 1}), dests, kTp, &s);
+  EXPECT_TRUE(is_dimension_ordered_chain(t.chain.nodes, s));
+  EXPECT_EQ(check_tree(t), "");
+}
+
+TEST(BuildMulticast, OptMinUsesLexicographicChain) {
+  const std::array<NodeId, 4> dests{100, 3, 77, 45};
+  const MulticastTree t = build_multicast(McastAlgorithm::kOptMin, 60, dests, kTp);
+  EXPECT_TRUE(is_lexicographic_chain(t.chain.nodes));
+  EXPECT_EQ(check_tree(t), "");
+}
+
+TEST(BuildMulticast, OptTreeKeepsCallerOrder) {
+  const std::array<NodeId, 3> dests{9, 2, 5};
+  const MulticastTree t = build_multicast(McastAlgorithm::kOptTree, 7, dests, kTp);
+  EXPECT_EQ(t.chain.nodes, (std::vector<NodeId>{7, 9, 2, 5}));
+  EXPECT_EQ(t.chain.source_pos, 0);
+}
+
+TEST(BuildMulticast, OptAndTunedVariantsShareTreeShape) {
+  // OPT-mesh and OPT-tree have "the same tree structure" (Sec. 5); only
+  // the node-to-position assignment differs.  Model latency (shape
+  // function) must be identical.
+  const MeshShape s = MeshShape::square2d(8);
+  const std::array<NodeId, 6> dests{10, 61, 33, 5, 47, 22};
+  const MulticastTree mesh_t =
+      build_multicast(McastAlgorithm::kOptMesh, 17, dests, kTp, &s);
+  const MulticastTree plain_t = build_multicast(McastAlgorithm::kOptTree, 17, dests, kTp);
+  EXPECT_EQ(model_latency(mesh_t, kTp), model_latency(plain_t, kTp));
+  EXPECT_EQ(tree_depth(mesh_t), tree_depth(plain_t));
+}
+
+TEST(BuildMulticast, UMeshIsBinomialOverDimensionChain) {
+  const MeshShape s = MeshShape::square2d(16);
+  std::vector<NodeId> dests;
+  for (NodeId d = 3; dests.size() < 31; d += 7) dests.push_back(d % 256);
+  const MulticastTree t = build_multicast(McastAlgorithm::kUMesh, 1, dests, kTp, &s);
+  EXPECT_EQ(tree_depth(t), 5);  // 32 nodes -> ceil(log2 32)
+  EXPECT_TRUE(is_dimension_ordered_chain(t.chain.nodes, s));
+}
+
+TEST(SplitTableFor, MatchesUnderlyingTables) {
+  const SplitTable a = split_table_for(McastAlgorithm::kOptMin, kTp, 16);
+  const SplitTable b = opt_split_table(kTp.t_hold, kTp.t_end, 16);
+  EXPECT_EQ(a.t, b.t);
+  EXPECT_EQ(a.j, b.j);
+  const SplitTable c = split_table_for(McastAlgorithm::kUMin, kTp, 16);
+  const SplitTable d = binomial_split_table(kTp.t_hold, kTp.t_end, 16);
+  EXPECT_EQ(c.t, d.t);
+}
+
+TEST(BuildMulticast, SequentialShape) {
+  const std::array<NodeId, 5> dests{9, 2, 5, 11, 3};
+  const MulticastTree t = build_multicast(McastAlgorithm::kSequential, 7, dests, kTp);
+  EXPECT_EQ(max_fanout(t), 5);
+  EXPECT_EQ(tree_depth(t), 1);
+}
+
+TEST(BuildMulticast, DuplicateDestinationRejected) {
+  const std::array<NodeId, 2> dests{9, 9};
+  EXPECT_THROW(build_multicast(McastAlgorithm::kOptMin, 7, dests, kTp),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pcm

@@ -1,0 +1,80 @@
+// Contention properties of the BMIN up-routing policies.
+//
+// Theorem 2 (OPT-min contention-free) is proved for deterministic
+// source-address up-routing.  The adaptive policy *prefers* the same
+// port and only deviates when it is busy; on a contention-free schedule
+// the preferred port is never busy, so adaptive runs must be identical.
+// Other deterministic policies (destination-address) break the theorem's
+// path structure for some placements.
+#include <gtest/gtest.h>
+
+#include "analysis/sampling.hpp"
+#include "bmin/bmin_topology.hpp"
+#include "runtime/mcast_runtime.hpp"
+
+namespace pcm::bmin {
+namespace {
+
+rt::RuntimeConfig machine() {
+  rt::RuntimeConfig cfg;
+  cfg.machine.send = LinearCost{40, 1.25 / 16.0};
+  cfg.machine.recv = LinearCost{30, 1.125 / 16.0};
+  cfg.machine.net_fixed = 4;
+  cfg.machine.router_delay = 1;
+  cfg.machine.nominal_hops = 8;
+  return cfg;
+}
+
+TEST(BminPolicies, AdaptiveMatchesSourceOnTunedSchedules) {
+  rt::MulticastRuntime rtm(machine());
+  const auto det = make_bmin(128, UpPolicy::kSourceAddress);
+  const auto ada = make_bmin(128, UpPolicy::kAdaptive);
+  const auto placements = analysis::sample_placements(41, 128, 32, 4);
+  for (const auto& p : placements) {
+    sim::Simulator s1(*det), s2(*ada);
+    const auto r1 =
+        rtm.run_algorithm(s1, McastAlgorithm::kOptMin, p.source, p.dests, 4096);
+    const auto r2 =
+        rtm.run_algorithm(s2, McastAlgorithm::kOptMin, p.source, p.dests, 4096);
+    EXPECT_EQ(r1.channel_conflicts, 0);
+    EXPECT_EQ(r2.channel_conflicts, 0);
+    EXPECT_EQ(r1.latency, r2.latency);
+  }
+}
+
+TEST(BminPolicies, RandomHashStillDeliversTunedSchedules) {
+  // Random up-routing voids the theorem, but every message must still be
+  // delivered and the latency stays within a modest factor.
+  rt::MulticastRuntime rtm(machine());
+  const auto rnd = make_bmin(128, UpPolicy::kRandomHash);
+  const auto placements = analysis::sample_placements(43, 128, 32, 3);
+  for (const auto& p : placements) {
+    sim::Simulator sim(*rnd);
+    const auto res =
+        rtm.run_algorithm(sim, McastAlgorithm::kOptMin, p.source, p.dests, 4096);
+    EXPECT_EQ(res.messages, 31);
+    EXPECT_LT(static_cast<double>(res.latency),
+              1.5 * static_cast<double>(res.model_latency));
+  }
+}
+
+TEST(BminPolicies, SourcePolicyIsLoadBalancedAcrossTopSwitches) {
+  // Source-address ascent spreads distinct sources over distinct
+  // turn switches: for a full permutation workload the top-stage
+  // switches each see at most a few paths.
+  const auto topo = make_bmin(64, UpPolicy::kSourceAddress);
+  std::vector<int> top_hits(topo->num_routers(), 0);
+  for (NodeId s = 0; s < 64; ++s) {
+    const NodeId d = (s + 32) % 64;  // all paths reach the top stage
+    for (sim::ChannelId c : sim::trace_path(*topo, s, d)) {
+      const int router = c / topo->radix();
+      if (topo->stage_of(router) == topo->stages() - 1) top_hits[router]++;
+    }
+  }
+  int busiest = 0;
+  for (int h : top_hits) busiest = std::max(busiest, h);
+  EXPECT_LE(busiest, 4);  // near-uniform spread over 32 top switches
+}
+
+}  // namespace
+}  // namespace pcm::bmin

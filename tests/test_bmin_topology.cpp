@@ -1,0 +1,126 @@
+// Tests for the bidirectional MIN topology and turnaround routing.
+#include <gtest/gtest.h>
+
+#include "bmin/bmin_topology.hpp"
+#include "core/address.hpp"
+
+namespace pcm::bmin {
+namespace {
+
+TEST(BminTopology, SizesFor128Nodes) {
+  const auto topo = make_bmin(128);
+  EXPECT_EQ(topo->num_nodes(), 128);
+  EXPECT_EQ(topo->stages(), 7);
+  EXPECT_EQ(topo->num_routers(), 7 * 64);
+  EXPECT_EQ(topo->radix(), 4);
+}
+
+TEST(BminTopology, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(make_bmin(0), std::invalid_argument);
+  EXPECT_THROW(make_bmin(2), std::invalid_argument);
+  EXPECT_THROW(make_bmin(100), std::invalid_argument);
+  EXPECT_THROW(make_bmin(-8), std::invalid_argument);
+}
+
+TEST(BminTopology, WiringConsistent8) {
+  EXPECT_EQ(sim::check_topology(*make_bmin(8), /*exhaustive=*/true), "");
+}
+
+TEST(BminTopology, WiringConsistent128) {
+  EXPECT_EQ(sim::check_topology(*make_bmin(128), /*exhaustive=*/false), "");
+}
+
+TEST(BminTopology, AllPoliciesRoute128Exhaustively) {
+  for (UpPolicy pol : {UpPolicy::kSourceAddress, UpPolicy::kDestAddress,
+                       UpPolicy::kAdaptive, UpPolicy::kRandomHash}) {
+    const auto topo = make_bmin(32, pol);
+    EXPECT_EQ(sim::check_topology(*topo, /*exhaustive=*/true), "")
+        << "policy=" << static_cast<int>(pol);
+  }
+}
+
+TEST(BminTopology, UpDownLinksAreInverse) {
+  const auto topo = make_bmin(64);
+  for (int r = 0; r < topo->num_routers(); ++r) {
+    for (int q = 2; q < 4; ++q) {  // every up link
+      const sim::PortRef up = topo->link(r, q);
+      if (!up.valid()) continue;
+      ASSERT_LT(up.port, 2);  // ascent lands on a down port
+      // The reverse down channel must land back on our up port.
+      const sim::PortRef down = topo->link(up.router, up.port);
+      ASSERT_TRUE(down.valid());
+      EXPECT_EQ(down.router, r);
+      EXPECT_EQ(down.port, q);
+    }
+  }
+}
+
+TEST(BminTopology, TopStageHasNoUpLinks) {
+  const auto topo = make_bmin(16);
+  const int top = topo->stages() - 1;
+  for (int j = 0; j < 8; ++j) {
+    EXPECT_FALSE(topo->link(topo->router_at(top, j), 2).valid());
+    EXPECT_FALSE(topo->link(topo->router_at(top, j), 3).valid());
+  }
+}
+
+TEST(BminTopology, PathLengthIsTwiceTurnStagePlusOne) {
+  const auto topo = make_bmin(128);
+  for (NodeId s = 0; s < 128; s += 11) {
+    for (NodeId d = 0; d < 128; d += 7) {
+      if (s == d) continue;
+      const auto path = sim::trace_path(*topo, s, d);
+      EXPECT_EQ(static_cast<int>(path.size()), topo->path_hops(s, d))
+          << s << "->" << d;
+      EXPECT_EQ(static_cast<int>(path.size()), 2 * msb_diff(s, d) + 1);
+    }
+  }
+}
+
+TEST(BminTopology, SameSwitchNeighborsNeedOnlyEjection) {
+  const auto topo = make_bmin(32);
+  EXPECT_EQ(sim::trace_path(*topo, 6, 7).size(), 1u);  // share switch (0,3)
+  EXPECT_EQ(topo->path_hops(6, 7), 1);
+}
+
+TEST(BminTopology, EjectorsCoverAllNodesExactlyOnce) {
+  const auto topo = make_bmin(64);
+  std::vector<int> seen(64, 0);
+  for (int r = 0; r < topo->num_routers(); ++r)
+    for (int q = 0; q < 4; ++q) {
+      const NodeId n = topo->ejector(r, q);
+      if (n != kInvalidNode) seen[n]++;
+    }
+  for (int n = 0; n < 64; ++n) EXPECT_EQ(seen[n], 1) << "node " << n;
+}
+
+TEST(BminTopology, SourcePolicyPathIsDeterministicPerPair) {
+  const auto topo = make_bmin(128);
+  const auto p1 = sim::trace_path(*topo, 37, 92);
+  const auto p2 = sim::trace_path(*topo, 37, 92);
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(BminTopology, DistinctUpPoliciesCanDiverge) {
+  // With source- vs destination-address ascent, some pair must climb
+  // through different intermediate switches.
+  const auto src_topo = make_bmin(64, UpPolicy::kSourceAddress);
+  const auto dst_topo = make_bmin(64, UpPolicy::kDestAddress);
+  bool diverged = false;
+  for (NodeId s = 0; s < 64 && !diverged; ++s)
+    for (NodeId d = 0; d < 64 && !diverged; ++d) {
+      if (s == d) continue;
+      if (sim::trace_path(*src_topo, s, d) != sim::trace_path(*dst_topo, s, d))
+        diverged = true;
+    }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(BminTopology, ChannelNamesAreDescriptive) {
+  const auto topo = make_bmin(16);
+  EXPECT_EQ(topo->channel_name(0, 0), "bmin(s0,#0).dn0");
+  EXPECT_EQ(topo->channel_name(topo->router_at(1, 3), 2), "bmin(s1,#3).up0");
+}
+
+}  // namespace
+}  // namespace pcm::bmin

@@ -1,0 +1,89 @@
+// Tests for chain construction (the architecture-dependent node ordering).
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/chain.hpp"
+
+namespace pcm {
+namespace {
+
+TEST(MakeChain, AsGivenKeepsOrderAndSourceFirst) {
+  const std::array<NodeId, 3> dests{9, 4, 7};
+  const Chain c = make_chain(2, dests, ChainOrder::kAsGiven);
+  EXPECT_EQ(c.size(), 4);
+  EXPECT_EQ(c.source_pos, 0);
+  EXPECT_EQ(c.nodes, (std::vector<NodeId>{2, 9, 4, 7}));
+  EXPECT_EQ(c.source(), 2);
+}
+
+TEST(MakeChain, LexicographicSorts) {
+  const std::array<NodeId, 4> dests{9, 4, 7, 1};
+  const Chain c = make_chain(5, dests, ChainOrder::kLexicographic);
+  EXPECT_EQ(c.nodes, (std::vector<NodeId>{1, 4, 5, 7, 9}));
+  EXPECT_EQ(c.source_pos, 2);
+  EXPECT_TRUE(is_lexicographic_chain(c.nodes));
+}
+
+TEST(MakeChain, DimensionOrderedSortsByHighDimensionFirst) {
+  const MeshShape s = MeshShape::square2d(6);
+  // Figure-1 style scatter: (x, y) pairs.
+  const NodeId a = s.node_at({4, 0});
+  const NodeId b = s.node_at({1, 2});
+  const NodeId c = s.node_at({0, 1});
+  const NodeId src = s.node_at({3, 1});
+  const std::array<NodeId, 3> dests{a, b, c};
+  const Chain chain = make_chain(src, dests, ChainOrder::kDimensionOrdered, &s);
+  // Sorted by y then x: (4,0) < (0,1) < (3,1) < (1,2).
+  EXPECT_EQ(chain.nodes, (std::vector<NodeId>{a, c, src, b}));
+  EXPECT_EQ(chain.source_pos, 2);
+  EXPECT_TRUE(is_dimension_ordered_chain(chain.nodes, s));
+}
+
+TEST(MakeChain, DimensionOrderedRequiresShape) {
+  const std::array<NodeId, 1> dests{3};
+  EXPECT_THROW(make_chain(1, dests, ChainOrder::kDimensionOrdered, nullptr),
+               std::invalid_argument);
+}
+
+TEST(MakeChain, RejectsDuplicates) {
+  const std::array<NodeId, 2> dup{4, 4};
+  EXPECT_THROW(make_chain(1, dup, ChainOrder::kLexicographic), std::invalid_argument);
+  const std::array<NodeId, 2> with_src{1, 2};
+  EXPECT_THROW(make_chain(1, with_src, ChainOrder::kLexicographic),
+               std::invalid_argument);
+}
+
+TEST(MakeChain, RejectsNodesOutsideMesh) {
+  const MeshShape s = MeshShape::square2d(4);
+  const std::array<NodeId, 1> dests{99};
+  EXPECT_THROW(make_chain(1, dests, ChainOrder::kDimensionOrdered, &s),
+               std::out_of_range);
+}
+
+TEST(MakeChain, SourceOnlyChain) {
+  const Chain c = make_chain(7, {}, ChainOrder::kLexicographic);
+  EXPECT_EQ(c.size(), 1);
+  EXPECT_EQ(c.source_pos, 0);
+}
+
+TEST(ChainPredicates, DetectDisorder) {
+  const MeshShape s = MeshShape::square2d(6);
+  const std::array<NodeId, 3> bad{5, 3, 9};
+  EXPECT_FALSE(is_lexicographic_chain(bad));
+  const std::array<NodeId, 2> dup{3, 3};
+  EXPECT_FALSE(is_lexicographic_chain(dup));
+  EXPECT_FALSE(is_dimension_ordered_chain(dup, s));
+}
+
+TEST(MakeChain, OnHypercubeDimensionOrderEqualsLexicographic) {
+  const MeshShape h = MeshShape::hypercube(4);
+  const std::array<NodeId, 5> dests{12, 3, 8, 15, 1};
+  const Chain cd = make_chain(6, dests, ChainOrder::kDimensionOrdered, &h);
+  const Chain cl = make_chain(6, dests, ChainOrder::kLexicographic);
+  EXPECT_EQ(cd.nodes, cl.nodes);
+  EXPECT_EQ(cd.source_pos, cl.source_pos);
+}
+
+}  // namespace
+}  // namespace pcm

@@ -1,0 +1,222 @@
+// Tests for the pcmcast CLI library (argument parsing, topology factory,
+// and the experiment driver).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bmin/bmin_topology.hpp"
+#include "butterfly/butterfly_topology.hpp"
+#include "cli/options.hpp"
+#include "mesh/mesh_topology.hpp"
+
+namespace pcm::cli {
+namespace {
+
+std::vector<std::string_view> sv(std::initializer_list<const char*> xs) {
+  return {xs.begin(), xs.end()};
+}
+
+TEST(CliParse, Defaults) {
+  const CliOptions o = parse_args({});
+  EXPECT_EQ(o.topology, "mesh:16");
+  EXPECT_EQ(o.algorithm, "opt-mesh");
+  EXPECT_EQ(o.nodes, 32);
+  EXPECT_EQ(o.bytes, 4096);
+  EXPECT_EQ(o.reps, 16);
+  EXPECT_FALSE(o.probe);
+}
+
+TEST(CliParse, AllOptions) {
+  const auto args = sv({"--topology", "bmin:128:adaptive", "--algorithm", "u-min",
+                        "--nodes", "64", "--bytes", "8192", "--reps", "4", "--seed",
+                        "7", "--csv", "out.csv", "--probe"});
+  const CliOptions o = parse_args(args);
+  EXPECT_EQ(o.topology, "bmin:128:adaptive");
+  EXPECT_EQ(o.algorithm, "u-min");
+  EXPECT_EQ(o.nodes, 64);
+  EXPECT_EQ(o.bytes, 8192);
+  EXPECT_EQ(o.reps, 4);
+  EXPECT_EQ(o.seed, 7u);
+  EXPECT_EQ(o.csv, "out.csv");
+  EXPECT_TRUE(o.probe);
+}
+
+TEST(CliParse, Rejections) {
+  EXPECT_THROW(parse_args(sv({"--bogus"})), std::invalid_argument);
+  EXPECT_THROW(parse_args(sv({"--nodes"})), std::invalid_argument);
+  EXPECT_THROW(parse_args(sv({"--nodes", "abc"})), std::invalid_argument);
+  EXPECT_THROW(parse_args(sv({"--nodes", "1"})), std::invalid_argument);
+  EXPECT_THROW(parse_args(sv({"--algorithm", "magic"})), std::invalid_argument);
+  EXPECT_THROW(parse_args(sv({"--reps", "0"})), std::invalid_argument);
+  EXPECT_THROW(parse_args(sv({"--bytes", "-5"})), std::invalid_argument);
+}
+
+TEST(CliParse, HelpSkipsValidation) {
+  const CliOptions o = parse_args(sv({"--algorithm", "magic", "--help"}));
+  EXPECT_TRUE(o.help);
+}
+
+TEST(CliAlgorithms, NamesRoundTrip) {
+  for (McastAlgorithm a : {McastAlgorithm::kOptMesh, McastAlgorithm::kUMesh,
+                           McastAlgorithm::kOptMin, McastAlgorithm::kUMin,
+                           McastAlgorithm::kOptTree, McastAlgorithm::kBinomial,
+                           McastAlgorithm::kSequential}) {
+    std::string lower(algorithm_name(a));
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    EXPECT_EQ(algorithm_from_name(lower), a) << lower;
+  }
+  EXPECT_EQ(algorithm_from_name("nope"), std::nullopt);
+}
+
+TEST(CliTopology, FactoryProducesRightKinds) {
+  EXPECT_NE(dynamic_cast<mesh::MeshTopology*>(make_topology("mesh:8").get()), nullptr);
+  EXPECT_NE(dynamic_cast<mesh::MeshTopology*>(make_topology("hypercube:5").get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<bmin::BminTopology*>(make_topology("bmin:64").get()), nullptr);
+  EXPECT_NE(dynamic_cast<butterfly::ButterflyTopology*>(
+                make_topology("butterfly:32").get()),
+            nullptr);
+  EXPECT_EQ(make_topology("mesh:8")->num_nodes(), 64);
+  EXPECT_EQ(make_topology("hypercube:5")->num_nodes(), 32);
+}
+
+TEST(CliTopology, BminPolicies) {
+  const auto ada = make_topology("bmin:32:adaptive");
+  EXPECT_EQ(dynamic_cast<bmin::BminTopology*>(ada.get())->up_policy(),
+            bmin::UpPolicy::kAdaptive);
+  const auto dst = make_topology("bmin:32:dest");
+  EXPECT_EQ(dynamic_cast<bmin::BminTopology*>(dst.get())->up_policy(),
+            bmin::UpPolicy::kDestAddress);
+  EXPECT_THROW(make_topology("bmin:32:warp"), std::invalid_argument);
+}
+
+TEST(CliTopology, RejectsUnknown) {
+  EXPECT_THROW(make_topology("torus:8"), std::invalid_argument);
+  EXPECT_THROW(make_topology(""), std::invalid_argument);
+  EXPECT_THROW(make_topology("mesh:abc"), std::invalid_argument);
+}
+
+TEST(CliShape, MeshShapeOnlyForMeshes) {
+  const auto m = make_topology("mesh:8");
+  EXPECT_NE(mesh_shape_of(*m), nullptr);
+  const auto b = make_topology("bmin:32");
+  EXPECT_EQ(mesh_shape_of(*b), nullptr);
+}
+
+TEST(CliRun, HelpPrintsUsage) {
+  CliOptions o;
+  o.help = true;
+  std::ostringstream os;
+  EXPECT_EQ(run_cli(o, os), 0);
+  EXPECT_NE(os.str().find("usage: pcmcast"), std::string::npos);
+}
+
+TEST(CliRun, SmallExperimentReports) {
+  CliOptions o;
+  o.topology = "mesh:8";
+  o.algorithm = "opt-mesh";
+  o.nodes = 8;
+  o.bytes = 512;
+  o.reps = 2;
+  std::ostringstream os;
+  EXPECT_EQ(run_cli(o, os), 0);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("OPT-Mesh"), std::string::npos);
+  EXPECT_NE(out.find("sim/model"), std::string::npos);
+  EXPECT_NE(out.find("blocked"), std::string::npos);
+}
+
+TEST(CliRun, CompareListsAllAlgorithms) {
+  CliOptions o;
+  o.topology = "mesh:8";
+  o.compare = true;
+  o.nodes = 8;
+  o.bytes = 256;
+  o.reps = 2;
+  std::ostringstream os;
+  EXPECT_EQ(run_cli(o, os), 0);
+  const std::string out = os.str();
+  for (const char* name : {"OPT-Mesh", "U-Mesh", "OPT-Tree", "Binomial", "Sequential"})
+    EXPECT_NE(out.find(name), std::string::npos) << name;
+}
+
+TEST(CliRun, CompareOnBminUsesMinAlgorithms) {
+  CliOptions o;
+  o.topology = "bmin:32";
+  o.compare = true;
+  o.nodes = 6;
+  o.bytes = 128;
+  o.reps = 1;
+  std::ostringstream os;
+  EXPECT_EQ(run_cli(o, os), 0);
+  EXPECT_NE(os.str().find("OPT-Min"), std::string::npos);
+  EXPECT_EQ(os.str().find("OPT-Mesh"), std::string::npos);
+}
+
+TEST(CliRun, ReduceAndBarrierCollectives) {
+  for (const char* kind : {"reduce", "barrier"}) {
+    CliOptions o;
+    o.topology = "mesh:8";
+    o.algorithm = "opt-mesh";
+    o.collective = kind;
+    o.nodes = 6;
+    o.bytes = 256;
+    o.reps = 2;
+    std::ostringstream os;
+    EXPECT_EQ(run_cli(o, os), 0) << kind;
+    EXPECT_NE(os.str().find(kind), std::string::npos);
+  }
+}
+
+TEST(CliRun, GanttPrintsTimeline) {
+  CliOptions o;
+  o.topology = "mesh:8";
+  o.nodes = 6;
+  o.bytes = 256;
+  o.reps = 1;
+  o.gantt = true;
+  std::ostringstream os;
+  EXPECT_EQ(run_cli(o, os), 0);
+  EXPECT_NE(os.str().find("message timeline"), std::string::npos);
+  EXPECT_NE(os.str().find("->"), std::string::npos);
+}
+
+TEST(CliParse, CollectiveValidation) {
+  EXPECT_THROW(parse_args(sv({"--collective", "allgather"})), std::invalid_argument);
+  const CliOptions o = parse_args(sv({"--collective", "barrier", "--compare"}));
+  EXPECT_EQ(o.collective, "barrier");
+  EXPECT_TRUE(o.compare);
+}
+
+TEST(CliRun, ProbeLineAppears) {
+  CliOptions o;
+  o.topology = "bmin:32";
+  o.algorithm = "opt-min";
+  o.nodes = 6;
+  o.bytes = 256;
+  o.reps = 1;
+  o.probe = true;
+  std::ostringstream os;
+  EXPECT_EQ(run_cli(o, os), 0);
+  EXPECT_NE(os.str().find("probe:   t_net="), std::string::npos);
+}
+
+TEST(CliRun, MeshAlgorithmOnBminRejected) {
+  CliOptions o;
+  o.topology = "bmin:32";
+  o.algorithm = "opt-mesh";
+  o.nodes = 4;
+  std::ostringstream os;
+  EXPECT_THROW(run_cli(o, os), std::invalid_argument);
+}
+
+TEST(CliRun, NodesBeyondTopologyRejected) {
+  CliOptions o;
+  o.topology = "mesh:4";
+  o.nodes = 99;
+  std::ostringstream os;
+  EXPECT_THROW(run_cli(o, os), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pcm::cli

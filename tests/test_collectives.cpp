@@ -1,0 +1,150 @@
+// Tests for reduction and barrier over multicast trees.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "analysis/sampling.hpp"
+#include "bmin/bmin_topology.hpp"
+#include "mesh/mesh_topology.hpp"
+#include "runtime/collectives.hpp"
+
+namespace pcm::rt {
+namespace {
+
+RuntimeConfig machine() {
+  RuntimeConfig cfg;
+  cfg.machine.send = LinearCost{40, 1.25 / 16.0};
+  cfg.machine.recv = LinearCost{30, 1.125 / 16.0};
+  cfg.machine.net_fixed = 4;
+  cfg.machine.router_delay = 1;
+  cfg.machine.nominal_hops = 8;
+  return cfg;
+}
+
+TEST(ReduceModel, EqualsMulticastModelByTimeReversal) {
+  // The ideal-model reduction bound must equal the multicast bound on the
+  // same tree (time-reversal symmetry).
+  for (Time hold : {1L, 20L, 55L}) {
+    for (int k : {2, 3, 8, 31, 100}) {
+      const SplitTable table = opt_split_table(hold, 55, k);
+      Chain chain;
+      chain.nodes.resize(k);
+      for (int i = 0; i < k; ++i) chain.nodes[i] = i;
+      chain.source_pos = k / 3;
+      const MulticastTree tree = build_chain_split_tree(chain, table);
+      const TwoParam tp{hold, 55};
+      EXPECT_EQ(model_reduce_latency(tree, tp), model_latency(tree, tp))
+          << "hold=" << hold << " k=" << k;
+    }
+  }
+}
+
+TEST(Reduce, TwoNodeReduction) {
+  const auto topo = mesh::make_mesh2d(4);
+  CollectiveRuntime coll(machine());
+  const TwoParam tp = coll.config().machine.two_param(256 + 8);
+  const std::array<NodeId, 1> dests{5};
+  const MulticastTree tree = build_multicast(McastAlgorithm::kOptTree, 0, dests, tp);
+  sim::Simulator sim(*topo);
+  const ReduceResult res = coll.run_reduce(sim, tree, 256);
+  EXPECT_EQ(res.messages, 1);
+  EXPECT_GT(res.latency, 0);
+  EXPECT_EQ(res.channel_conflicts, 0);
+}
+
+TEST(Reduce, GathersWholeGroupNearModelBound) {
+  const auto topo = mesh::make_mesh2d(16);
+  CollectiveRuntime coll(machine());
+  const Bytes payload = 1024;
+  const TwoParam tp =
+      coll.config().machine.two_param(payload + 8);
+  const auto placements = analysis::sample_placements(17, 256, 24, 4);
+  for (const auto& p : placements) {
+    const MulticastTree tree = build_multicast(McastAlgorithm::kOptMesh, p.source,
+                                               p.dests, tp, &topo->shape());
+    sim::Simulator sim(*topo);
+    const ReduceResult res = coll.run_reduce(sim, tree, payload);
+    EXPECT_EQ(res.messages, 23);
+    // Reductions serialize receives with t_recv rather than t_hold, and
+    // reversed paths may contend; allow a generous envelope.
+    EXPECT_LT(static_cast<double>(res.latency),
+              1.5 * static_cast<double>(res.model_latency));
+    EXPECT_GT(res.latency, 0);
+  }
+}
+
+TEST(Reduce, SingleNodeTreeIsInstant) {
+  const auto topo = mesh::make_mesh2d(4);
+  CollectiveRuntime coll(machine());
+  Chain chain;
+  chain.nodes = {7};
+  chain.source_pos = 0;
+  const MulticastTree tree =
+      build_chain_split_tree(chain, opt_split_table(20, 55, 1));
+  sim::Simulator sim(*topo);
+  const ReduceResult res = coll.run_reduce(sim, tree, 64);
+  EXPECT_EQ(res.latency, 0);
+  EXPECT_EQ(res.messages, 0);
+}
+
+TEST(Reduce, RefusesBusySimulator) {
+  const auto topo = mesh::make_mesh2d(4);
+  CollectiveRuntime coll(machine());
+  sim::Simulator sim(*topo);
+  sim::Message m;
+  m.src = 0;
+  m.dst = 1;
+  m.flits = 1;
+  m.ready_time = 2;
+  sim.post(m);
+  const TwoParam tp{100, 300};
+  const std::array<NodeId, 1> dests{3};
+  const MulticastTree tree = build_multicast(McastAlgorithm::kOptTree, 0, dests, tp);
+  EXPECT_THROW(coll.run_reduce(sim, tree, 32), std::logic_error);
+}
+
+TEST(Barrier, ComposesReduceAndBroadcast) {
+  const auto topo = mesh::make_mesh2d(8);
+  CollectiveRuntime coll(machine());
+  const TwoParam tp = coll.config().machine.two_param(8);
+  const std::array<NodeId, 6> dests{3, 9, 22, 40, 51, 60};
+  const MulticastTree tree =
+      build_multicast(McastAlgorithm::kOptMesh, 0, dests, tp, &topo->shape());
+  sim::Simulator sim(*topo);
+  const BarrierResult res = coll.run_barrier(sim, tree, 0);
+  EXPECT_EQ(res.latency, res.reduce.latency + res.bcast.latency);
+  EXPECT_GT(res.reduce.latency, 0);
+  EXPECT_GT(res.bcast.latency, 0);
+  EXPECT_EQ(res.reduce.messages, 6);
+  EXPECT_EQ(res.bcast.messages, 6);
+}
+
+TEST(Barrier, LatencyScalesLikeTwoCollectives) {
+  const auto topo = mesh::make_mesh2d(8);
+  CollectiveRuntime coll(machine());
+  const TwoParam tp = coll.config().machine.two_param(8);
+  const std::array<NodeId, 6> dests{3, 9, 22, 40, 51, 60};
+  const MulticastTree tree =
+      build_multicast(McastAlgorithm::kOptMesh, 0, dests, tp, &topo->shape());
+  sim::Simulator s1(*topo), s2(*topo);
+  const BarrierResult barrier = coll.run_barrier(s1, tree, 0);
+  const McastResult bcast = coll.multicast().run(s2, tree, 0);
+  EXPECT_GT(barrier.latency, bcast.latency);
+  EXPECT_LT(barrier.latency, 3 * bcast.latency);
+}
+
+TEST(Reduce, OnBmin) {
+  const auto topo = bmin::make_bmin(64);
+  CollectiveRuntime coll(machine());
+  const TwoParam tp = coll.config().machine.two_param(2048 + 8);
+  const auto p = analysis::sample_placements(29, 64, 16, 1)[0];
+  const MulticastTree tree =
+      build_multicast(McastAlgorithm::kOptMin, p.source, p.dests, tp);
+  sim::Simulator sim(*topo);
+  const ReduceResult res = coll.run_reduce(sim, tree, 2048);
+  EXPECT_EQ(res.messages, 15);
+  EXPECT_GT(res.latency, 0);
+}
+
+}  // namespace
+}  // namespace pcm::rt

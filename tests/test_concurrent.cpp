@@ -1,0 +1,147 @@
+// Tests for concurrent multicast groups sharing one network.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "analysis/sampling.hpp"
+#include "mesh/mesh_topology.hpp"
+#include "runtime/mcast_runtime.hpp"
+
+namespace pcm::rt {
+namespace {
+
+RuntimeConfig machine() {
+  RuntimeConfig cfg;
+  cfg.machine.send = LinearCost{40, 1.25 / 16.0};
+  cfg.machine.recv = LinearCost{30, 1.125 / 16.0};
+  cfg.machine.net_fixed = 4;
+  cfg.machine.router_delay = 1;
+  cfg.machine.bytes_per_cycle = 16;
+  cfg.machine.nominal_hops = 8;
+  return cfg;
+}
+
+MulticastRuntime::GroupRun make_group(const MulticastRuntime& rtm,
+                                      const MeshShape& shape, McastAlgorithm alg,
+                                      NodeId src, std::span<const NodeId> dests,
+                                      Bytes payload, Time start = 0) {
+  const TwoParam tp = rtm.config().machine.two_param(rtm.wire_bytes(payload, 1));
+  MulticastRuntime::GroupRun g;
+  g.tree = build_multicast(alg, src, dests, tp, &shape);
+  g.payload = payload;
+  g.start = start;
+  return g;
+}
+
+TEST(Concurrent, SingleGroupMatchesRun) {
+  const auto topo = mesh::make_mesh2d(8);
+  MulticastRuntime rtm(machine());
+  const std::array<NodeId, 5> dests{3, 17, 40, 55, 62};
+  sim::Simulator s1(*topo), s2(*topo);
+  const McastResult solo =
+      rtm.run_algorithm(s1, McastAlgorithm::kOptMesh, 0, dests, 1024, &topo->shape());
+  auto group = make_group(rtm, topo->shape(), McastAlgorithm::kOptMesh, 0, dests, 1024);
+  const auto res = rtm.run_concurrent(s2, {std::move(group)});
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].latency, solo.latency);
+  EXPECT_EQ(res[0].messages, solo.messages);
+  EXPECT_EQ(res[0].channel_conflicts, solo.channel_conflicts);
+}
+
+TEST(Concurrent, DisjointCornerGroupsDoNotInterfere) {
+  // Two multicasts confined to opposite corners of the mesh: channel sets
+  // are disjoint, so each group's latency must equal its solo latency.
+  const auto topo = mesh::make_mesh2d(8);
+  const MeshShape& s = topo->shape();
+  MulticastRuntime rtm(machine());
+  const std::array<NodeId, 3> a{s.node_at({0, 1}), s.node_at({1, 0}), s.node_at({1, 1})};
+  const std::array<NodeId, 3> b{s.node_at({6, 7}), s.node_at({7, 6}), s.node_at({6, 6})};
+  sim::Simulator solo_a(*topo), solo_b(*topo), both(*topo);
+  const Time la =
+      rtm.run_algorithm(solo_a, McastAlgorithm::kOptMesh, s.node_at({0, 0}), a, 2048,
+                        &s).latency;
+  const Time lb =
+      rtm.run_algorithm(solo_b, McastAlgorithm::kOptMesh, s.node_at({7, 7}), b, 2048,
+                        &s).latency;
+  std::vector<MulticastRuntime::GroupRun> groups;
+  groups.push_back(make_group(rtm, s, McastAlgorithm::kOptMesh, s.node_at({0, 0}), a, 2048));
+  groups.push_back(make_group(rtm, s, McastAlgorithm::kOptMesh, s.node_at({7, 7}), b, 2048));
+  const auto res = rtm.run_concurrent(both, std::move(groups));
+  EXPECT_EQ(res[0].latency, la);
+  EXPECT_EQ(res[1].latency, lb);
+  EXPECT_EQ(res[0].channel_conflicts, 0);
+  EXPECT_EQ(res[1].channel_conflicts, 0);
+}
+
+TEST(Concurrent, SharedSourceSerializesCpu) {
+  // The same node sources two groups: its sends must serialize, so at
+  // least one group is slower than solo.
+  const auto topo = mesh::make_mesh2d(8);
+  MulticastRuntime rtm(machine());
+  const std::array<NodeId, 4> a{1, 2, 3, 4};
+  const std::array<NodeId, 4> b{40, 48, 56, 63};
+  sim::Simulator solo(*topo), both(*topo);
+  const Time solo_lat =
+      rtm.run_algorithm(solo, McastAlgorithm::kOptMesh, 0, a, 1024, &topo->shape())
+          .latency;
+  std::vector<MulticastRuntime::GroupRun> groups;
+  groups.push_back(make_group(rtm, topo->shape(), McastAlgorithm::kOptMesh, 0, a, 1024));
+  groups.push_back(make_group(rtm, topo->shape(), McastAlgorithm::kOptMesh, 0, b, 1024));
+  const auto res = rtm.run_concurrent(both, std::move(groups));
+  EXPECT_GE(std::max(res[0].latency, res[1].latency), solo_lat);
+  EXPECT_GT(res[0].latency + res[1].latency, 2 * solo_lat - 1);
+}
+
+TEST(Concurrent, StaggeredStartsShiftTimelines) {
+  const auto topo = mesh::make_mesh2d(8);
+  MulticastRuntime rtm(machine());
+  const std::array<NodeId, 3> a{9, 18, 27};
+  std::vector<MulticastRuntime::GroupRun> groups;
+  groups.push_back(make_group(rtm, topo->shape(), McastAlgorithm::kOptMesh, 0, a, 512, 0));
+  groups.push_back(
+      make_group(rtm, topo->shape(), McastAlgorithm::kOptMesh, 36, a, 512, 100000));
+  // Far-apart starts: no interaction; latencies equal each other.
+  sim::Simulator sim(*topo);
+  const auto res = rtm.run_concurrent(sim, std::move(groups));
+  EXPECT_EQ(res[0].channel_conflicts, 0);
+  EXPECT_EQ(res[1].channel_conflicts, 0);
+}
+
+TEST(Concurrent, OverlappingRandomGroupsAllDeliver) {
+  const auto topo = mesh::make_mesh2d(16);
+  MulticastRuntime rtm(machine());
+  analysis::Rng rng(3);
+  std::vector<MulticastRuntime::GroupRun> groups;
+  for (int g = 0; g < 4; ++g) {
+    const auto p = analysis::sample_placement(rng, 256, 12);
+    groups.push_back(
+        make_group(rtm, topo->shape(), McastAlgorithm::kOptMesh, p.source, p.dests, 2048));
+  }
+  sim::Simulator sim(*topo);
+  const auto res = rtm.run_concurrent(sim, std::move(groups));
+  ASSERT_EQ(res.size(), 4u);
+  for (const auto& r : res) {
+    EXPECT_EQ(r.messages, 11);
+    EXPECT_GT(r.latency, 0);
+    int received = 0;
+    for (Time t : r.recv_complete)
+      if (t >= 0) ++received;
+    EXPECT_EQ(received, 11);
+  }
+}
+
+TEST(Concurrent, RefusesBusySimulator) {
+  const auto topo = mesh::make_mesh2d(4);
+  MulticastRuntime rtm(machine());
+  sim::Simulator sim(*topo);
+  sim::Message m;
+  m.src = 0;
+  m.dst = 1;
+  m.flits = 1;
+  m.ready_time = 3;
+  sim.post(m);
+  EXPECT_THROW(rtm.run_concurrent(sim, {}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pcm::rt

@@ -1,0 +1,73 @@
+// Reproducibility guarantees: identical seeds and inputs must give
+// bit-identical results — the paper's methodology (16 repetitions,
+// averaged) is only meaningful if each repetition is deterministic.
+#include <gtest/gtest.h>
+
+#include "analysis/sampling.hpp"
+#include "bmin/bmin_topology.hpp"
+#include "butterfly/butterfly_topology.hpp"
+#include "mesh/mesh_topology.hpp"
+#include "runtime/mcast_runtime.hpp"
+
+namespace pcm {
+namespace {
+
+TEST(Determinism, RepeatedSimulationsAreIdentical) {
+  const auto topo = mesh::make_mesh2d(16);
+  rt::MulticastRuntime rtm(rt::RuntimeConfig{});
+  const auto p = analysis::sample_placements(5, 256, 32, 1)[0];
+  std::vector<Time> lat;
+  std::vector<long long> confl;
+  for (int run = 0; run < 3; ++run) {
+    sim::Simulator sim(*topo);
+    const auto res = rtm.run_algorithm(sim, McastAlgorithm::kOptTree, p.source,
+                                       p.dests, 4096, &topo->shape());
+    lat.push_back(res.latency);
+    confl.push_back(res.channel_conflicts);
+  }
+  EXPECT_EQ(lat[0], lat[1]);
+  EXPECT_EQ(lat[1], lat[2]);
+  EXPECT_EQ(confl[0], confl[1]);
+  EXPECT_EQ(confl[1], confl[2]);
+}
+
+TEST(Determinism, MessageTimelinesMatchAcrossRuns) {
+  const auto topo = bmin::make_bmin(64, bmin::UpPolicy::kRandomHash);
+  rt::MulticastRuntime rtm(rt::RuntimeConfig{});
+  const auto p = analysis::sample_placements(9, 64, 16, 1)[0];
+  std::vector<std::vector<Time>> deliveries;
+  for (int run = 0; run < 2; ++run) {
+    sim::Simulator sim(*topo);
+    rtm.run_algorithm(sim, McastAlgorithm::kOptTree, p.source, p.dests, 1024);
+    std::vector<Time> d;
+    for (const auto& m : sim.messages().all()) d.push_back(m.delivered);
+    deliveries.push_back(std::move(d));
+  }
+  EXPECT_EQ(deliveries[0], deliveries[1]);
+}
+
+TEST(Determinism, TreesAreStableFunctionsOfInputs) {
+  const std::vector<NodeId> dests{44, 3, 91, 17, 60, 29};
+  const TwoParam tp{700, 1600};
+  const MulticastTree a = build_multicast(McastAlgorithm::kOptMin, 8, dests, tp);
+  const MulticastTree b = build_multicast(McastAlgorithm::kOptMin, 8, dests, tp);
+  ASSERT_EQ(a.sends.size(), b.sends.size());
+  for (size_t i = 0; i < a.sends.size(); ++i) {
+    EXPECT_EQ(a.sends[i].sender_pos, b.sends[i].sender_pos);
+    EXPECT_EQ(a.sends[i].receiver_pos, b.sends[i].receiver_pos);
+  }
+}
+
+TEST(Determinism, ButterflySimulationStable) {
+  const auto topo = butterfly::make_butterfly(32);
+  rt::MulticastRuntime rtm(rt::RuntimeConfig{});
+  const auto p = analysis::sample_placements(3, 32, 12, 1)[0];
+  sim::Simulator s1(*topo), s2(*topo);
+  const auto r1 = rtm.run_algorithm(s1, McastAlgorithm::kOptTree, p.source, p.dests, 512);
+  const auto r2 = rtm.run_algorithm(s2, McastAlgorithm::kOptTree, p.source, p.dests, 512);
+  EXPECT_EQ(r1.latency, r2.latency);
+  EXPECT_EQ(r1.channel_conflicts, r2.channel_conflicts);
+}
+
+}  // namespace
+}  // namespace pcm

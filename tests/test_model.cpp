@@ -1,0 +1,92 @@
+// Tests for the parameterized communication model arithmetic.
+#include <gtest/gtest.h>
+
+#include "core/model.hpp"
+
+namespace pcm {
+namespace {
+
+TEST(LinearCost, EvaluatesAffine) {
+  const LinearCost c{100, 0.5};
+  EXPECT_EQ(c.at(0), 100);
+  EXPECT_EQ(c.at(2), 101);
+  EXPECT_EQ(c.at(3), 102);  // ceil(1.5) = 2
+  EXPECT_EQ(c.at(1000), 600);
+}
+
+TEST(MachineParams, EndIsSumOfComponents) {
+  const MachineParams p = MachineParams::classic();
+  for (Bytes m : {0LL, 64LL, 4096LL, 65536LL}) {
+    EXPECT_EQ(p.t_end(m), p.t_send(m) + p.t_net(m, p.nominal_hops) + p.t_recv(m))
+        << "m=" << m;
+  }
+}
+
+TEST(MachineParams, HoldNeverExceedsEnd) {
+  // The regime the paper targets: issuing a send is cheaper than a full
+  // end-to-end delivery.  classic() must satisfy it across the studied
+  // message range (0..64 KB), otherwise the OPT tree would degenerate.
+  const MachineParams p = MachineParams::classic();
+  for (Bytes m = 0; m <= 65536; m += 512)
+    EXPECT_LT(p.t_hold(m), p.t_end(m)) << "m=" << m;
+}
+
+TEST(MachineParams, SoftwareCopySlowerThanWire) {
+  // The simulator's injection channel must never be the binding
+  // constraint between consecutive sends: t_hold(m) must cover the wire
+  // serialization time, or the NI would queue and the DP's t_hold-spaced
+  // schedule would be unachievable.
+  const MachineParams p = MachineParams::classic();
+  for (Bytes m = 0; m <= 65536; m += 256)
+    EXPECT_GE(p.t_hold(m), p.serialization(m)) << "m=" << m;
+}
+
+TEST(MachineParams, SerializationRoundsUp) {
+  MachineParams p;
+  p.bytes_per_cycle = 16;
+  EXPECT_EQ(p.serialization(0), 0);
+  EXPECT_EQ(p.serialization(1), 1);
+  EXPECT_EQ(p.serialization(16), 1);
+  EXPECT_EQ(p.serialization(17), 2);
+}
+
+TEST(MachineParams, NetScalesWithHops) {
+  const MachineParams p = MachineParams::classic();
+  EXPECT_EQ(p.t_net(1024, 10) - p.t_net(1024, 4), 6 * p.router_delay);
+}
+
+TEST(MachineParams, HoldGapAddsToHold) {
+  MachineParams p = MachineParams::classic();
+  const Time base = p.t_hold(100);
+  p.hold_gap = 17;
+  EXPECT_EQ(p.t_hold(100), base + 17);
+}
+
+TEST(FromLogP, MapsParameters) {
+  const MachineParams p = from_logp(/*L=*/10, /*o=*/3, /*g=*/5);
+  EXPECT_EQ(p.t_send(1), 3);
+  EXPECT_EQ(p.t_recv(1), 3);
+  EXPECT_EQ(p.t_hold(1), 5);           // max(o, g) = g
+  EXPECT_EQ(p.t_end(0), 3 + 10 + 3);   // o + L + o
+}
+
+TEST(FromLogP, OverheadDominatedGap) {
+  const MachineParams p = from_logp(/*L=*/10, /*o=*/7, /*g=*/5);
+  EXPECT_EQ(p.t_hold(1), 7);  // max(o, g) = o
+}
+
+TEST(Describe, MentionsBothKeyParameters) {
+  const std::string d = describe(MachineParams::classic(), 4096);
+  EXPECT_NE(d.find("t_hold="), std::string::npos);
+  EXPECT_NE(d.find("t_end="), std::string::npos);
+}
+
+TEST(TwoParam, DerivedConsistently) {
+  const MachineParams p = MachineParams::classic();
+  const TwoParam tp = p.two_param(4096);
+  EXPECT_EQ(tp.t_hold, p.t_hold(4096));
+  EXPECT_EQ(tp.t_end, p.t_end(4096));
+}
+
+}  // namespace
+}  // namespace pcm

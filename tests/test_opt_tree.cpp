@@ -1,0 +1,192 @@
+// Tests for the OPT-tree dynamic program (paper Algorithm 2.1).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "core/address.hpp"
+#include "core/opt_tree.hpp"
+
+namespace pcm {
+namespace {
+
+TEST(OptTree, TrivialSizes) {
+  const SplitTable s = opt_split_table(20, 55, 2);
+  EXPECT_EQ(s.latency(1), 0);
+  EXPECT_EQ(s.latency(2), 55);
+  EXPECT_EQ(s.split(2), 1);
+}
+
+TEST(OptTree, SingleNodeTable) {
+  const SplitTable s = opt_split_table(10, 10, 1);
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_EQ(s.latency(1), 0);
+}
+
+TEST(OptTree, RejectsBadInput) {
+  EXPECT_THROW(opt_split_table(10, 10, 0), std::invalid_argument);
+  EXPECT_THROW(opt_split_table(-1, 10, 4), std::invalid_argument);
+  EXPECT_THROW(opt_split_table(10, -1, 4), std::invalid_argument);
+  // Holding a message cannot cost more than delivering it end-to-end.
+  EXPECT_THROW(opt_split_table(55, 20, 4), std::invalid_argument);
+}
+
+// The paper's Figure 1 example: t_hold = 20, t_end = 55, 7 destinations
+// (8 nodes).  The OPT tree completes at 130; the binomial tree at 165.
+TEST(OptTree, PaperFigure1Numbers) {
+  const SplitTable opt = opt_split_table(20, 55, 8);
+  EXPECT_EQ(opt.latency(8), 130);
+  const SplitTable bin = binomial_split_table(20, 55, 8);
+  EXPECT_EQ(bin.latency(8), 165);
+}
+
+// Intermediate t[] values of the same example, recomputed by hand.
+TEST(OptTree, PaperFigure1FullTable) {
+  const SplitTable s = opt_split_table(20, 55, 8);
+  const Time expect_t[] = {0, 0, 55, 75, 95, 110, 115, 130, 130};
+  const int expect_j[] = {0, 0, 1, 2, 3, 3, 4, 5, 5};
+  for (int i = 1; i <= 8; ++i) {
+    EXPECT_EQ(s.t[i], expect_t[i]) << "t[" << i << "]";
+    if (i >= 2) {
+      EXPECT_EQ(s.j[i], expect_j[i]) << "j[" << i << "]";
+    }
+  }
+}
+
+TEST(OptTree, EqualParamsMatchesBinomialLatency) {
+  // With t_hold == t_end the binomial tree is optimal (Sec. 1): the OPT
+  // latency must equal ceil(log2 k) * t_end.
+  for (int k : {2, 3, 4, 7, 8, 15, 16, 17, 64, 100, 128}) {
+    const Time te = 55;
+    const SplitTable opt = opt_split_table(te, te, k);
+    const SplitTable bin = binomial_split_table(te, te, k);
+    EXPECT_EQ(opt.latency(k), bin.latency(k)) << "k=" << k;
+    EXPECT_EQ(opt.latency(k), static_cast<Time>(ceil_log2(k)) * te) << "k=" << k;
+  }
+}
+
+TEST(OptTree, ZeroHoldApproachesSequentialDepth) {
+  // With t_hold = 0 the source can issue sends for free, so the optimum
+  // is one level: t[k] = t_end for every k >= 2.
+  const SplitTable s = opt_split_table(0, 55, 300);
+  for (int k = 2; k <= 300; ++k) EXPECT_EQ(s.latency(k), 55) << "k=" << k;
+}
+
+TEST(OptTree, LatencyMonotoneInK) {
+  const SplitTable s = opt_split_table(20, 55, 512);
+  for (int k = 2; k <= 512; ++k) EXPECT_GE(s.t[k], s.t[k - 1]) << "k=" << k;
+}
+
+TEST(OptTree, SplitsAreValid) {
+  const SplitTable s = opt_split_table(20, 55, 512);
+  for (int i = 2; i <= 512; ++i) {
+    EXPECT_GE(s.j[i], 1) << "i=" << i;
+    EXPECT_LE(s.j[i], i - 1) << "i=" << i;
+  }
+}
+
+TEST(Reachability, PaperFigure1Counts) {
+  // N(T) for t_hold=20, t_end=55 (hand-computed).
+  EXPECT_EQ(max_nodes_within(0, 20, 55), 1);
+  EXPECT_EQ(max_nodes_within(54, 20, 55), 1);
+  EXPECT_EQ(max_nodes_within(55, 20, 55), 2);
+  EXPECT_EQ(max_nodes_within(75, 20, 55), 3);
+  EXPECT_EQ(max_nodes_within(110, 20, 55), 5);
+  EXPECT_EQ(max_nodes_within(130, 20, 55), 8);
+}
+
+TEST(Reachability, BinomialDoublingWhenHoldEqualsEnd) {
+  for (int levels = 0; levels <= 10; ++levels)
+    EXPECT_EQ(max_nodes_within(levels * 55, 55, 55), 1LL << levels);
+}
+
+TEST(Reachability, CapStopsGrowth) {
+  EXPECT_EQ(max_nodes_within(100000, 1, 2, 1000), 1000);
+}
+
+TEST(Reachability, ZeroHoldIsUnboundedAfterOneEnd) {
+  EXPECT_EQ(max_nodes_within(54, 0, 55, 77), 1);
+  EXPECT_EQ(max_nodes_within(55, 0, 55, 77), 77);
+}
+
+TEST(Reachability, Validation) {
+  EXPECT_THROW(max_nodes_within(10, -1, 5), std::invalid_argument);
+  EXPECT_THROW(max_nodes_within(10, 6, 5), std::invalid_argument);
+  EXPECT_THROW(min_time_for(0, 2, 5), std::invalid_argument);
+  EXPECT_THROW(min_time_for(4, 0, 5), std::invalid_argument);
+}
+
+// Machine-check of the paper's monotonicity claim underlying the O(k)
+// greedy: j_i in { j_{i-1}, j_{i-1}+1 }, via an exhaustive reference DP.
+struct RatioCase {
+  Time hold;
+  Time end;
+};
+
+class OptTreeProperty : public ::testing::TestWithParam<RatioCase> {};
+
+TEST_P(OptTreeProperty, GreedyMatchesExhaustive) {
+  const auto [hold, end] = GetParam();
+  const int k = 257;
+  const SplitTable greedy = opt_split_table(hold, end, k);
+  const SplitTable full = opt_split_table_exhaustive(hold, end, k);
+  for (int i = 1; i <= k; ++i)
+    ASSERT_EQ(greedy.t[i], full.t[i]) << "hold=" << hold << " end=" << end << " i=" << i;
+}
+
+TEST_P(OptTreeProperty, SplitMonotone) {
+  const auto [hold, end] = GetParam();
+  const SplitTable s = opt_split_table(hold, end, 300);
+  for (int i = 3; i <= 300; ++i) {
+    ASSERT_TRUE(s.j[i] == s.j[i - 1] || s.j[i] == s.j[i - 1] + 1)
+        << "hold=" << hold << " end=" << end << " i=" << i;
+  }
+}
+
+TEST_P(OptTreeProperty, DualityWithReachability) {
+  // min { T : N(T) >= k } must equal the DP's t[k] — the two views of
+  // optimality from the ICPP'96 companion paper coincide.
+  const auto [hold, end] = GetParam();
+  if (hold < 1) GTEST_SKIP() << "duality search needs t_hold >= 1";
+  const SplitTable s = opt_split_table(hold, end, 200);
+  for (int k : {2, 3, 5, 8, 13, 21, 50, 99, 200})
+    ASSERT_EQ(min_time_for(k, hold, end), s.t[k])
+        << "hold=" << hold << " end=" << end << " k=" << k;
+}
+
+TEST_P(OptTreeProperty, SourceSideKeepsAtLeastHalf) {
+  // Required by the chain-split expansion: the two cases of Algorithms
+  // 3.1/4.1 cover every source position only when 2*j_i >= i.
+  const auto [hold, end] = GetParam();
+  const SplitTable s = opt_split_table(hold, end, 300);
+  for (int i = 2; i <= 300; ++i)
+    ASSERT_GE(2 * s.j[i], i) << "hold=" << hold << " end=" << end << " i=" << i;
+}
+
+TEST_P(OptTreeProperty, NeverWorseThanBaselines) {
+  const auto [hold, end] = GetParam();
+  const int k = 300;
+  const SplitTable opt = opt_split_table(hold, end, k);
+  const SplitTable bin = binomial_split_table(hold, end, k);
+  const SplitTable seq = sequential_split_table(hold, end, k);
+  for (int i = 2; i <= k; ++i) {
+    ASSERT_LE(opt.t[i], bin.t[i]) << "i=" << i;
+    ASSERT_LE(opt.t[i], seq.t[i]) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ratios, OptTreeProperty,
+    ::testing::Values(RatioCase{0, 1}, RatioCase{1, 1}, RatioCase{1, 2},
+                      RatioCase{1, 10}, RatioCase{2, 3}, RatioCase{3, 7},
+                      RatioCase{5, 5}, RatioCase{7, 10}, RatioCase{9, 10},
+                      RatioCase{10, 10}, RatioCase{20, 55}, RatioCase{13, 200},
+                      RatioCase{100, 101}, RatioCase{50, 500}, RatioCase{1, 1000},
+                      RatioCase{377, 610}),
+    [](const ::testing::TestParamInfo<RatioCase>& param_info) {
+      return "hold" + std::to_string(param_info.param.hold) + "_end" +
+             std::to_string(param_info.param.end);
+    });
+
+}  // namespace
+}  // namespace pcm

@@ -1,0 +1,100 @@
+// End-to-end integration tests pinning the qualitative results of the
+// paper's evaluation section (the benches regenerate the full curves;
+// these tests lock the orderings so regressions are caught by ctest).
+#include <gtest/gtest.h>
+
+#include "analysis/sampling.hpp"
+#include "analysis/stats.hpp"
+#include "bmin/bmin_topology.hpp"
+#include "mesh/mesh_topology.hpp"
+#include "runtime/mcast_runtime.hpp"
+
+namespace pcm {
+namespace {
+
+rt::RuntimeConfig machine() {
+  rt::RuntimeConfig cfg;  // the classic() Paragon-class defaults
+  return cfg;
+}
+
+double mean_latency(const sim::Topology& topo, const MeshShape* shape,
+                    McastAlgorithm alg, int k, Bytes payload, std::uint64_t seed,
+                    int reps) {
+  rt::MulticastRuntime rtm(machine());
+  const auto placements = analysis::sample_placements(seed, topo.num_nodes(), k, reps);
+  std::vector<double> xs;
+  for (const auto& p : placements) {
+    sim::Simulator sim(topo);
+    xs.push_back(static_cast<double>(
+        rtm.run_algorithm(sim, alg, p.source, p.dests, payload, shape).latency));
+  }
+  return analysis::summarize(xs).mean;
+}
+
+// Figure 2's ordering at the 4 KB point: OPT-mesh < OPT-tree < U-mesh on
+// the 16x16 mesh with 32 multicast nodes.
+TEST(PaperFigure2, OrderingAt4KB) {
+  const auto topo = mesh::make_mesh2d(16);
+  const MeshShape* s = &topo->shape();
+  const double opt_mesh =
+      mean_latency(*topo, s, McastAlgorithm::kOptMesh, 32, 4096, 2026, 8);
+  const double opt_tree =
+      mean_latency(*topo, s, McastAlgorithm::kOptTree, 32, 4096, 2026, 8);
+  const double u_mesh =
+      mean_latency(*topo, s, McastAlgorithm::kUMesh, 32, 4096, 2026, 8);
+  EXPECT_LT(opt_mesh, u_mesh);
+  EXPECT_LE(opt_mesh, opt_tree);
+  EXPECT_LT(opt_tree, u_mesh);
+}
+
+// Figure 3's divergence: as k grows at fixed 4 KB, U-mesh falls behind
+// OPT-mesh by a growing margin (binomial depth grows faster).
+TEST(PaperFigure3, GapGrowsWithK) {
+  const auto topo = mesh::make_mesh2d(16);
+  const MeshShape* s = &topo->shape();
+  const double gap_small =
+      mean_latency(*topo, s, McastAlgorithm::kUMesh, 8, 4096, 7, 6) -
+      mean_latency(*topo, s, McastAlgorithm::kOptMesh, 8, 4096, 7, 6);
+  const double gap_large =
+      mean_latency(*topo, s, McastAlgorithm::kUMesh, 128, 4096, 7, 6) -
+      mean_latency(*topo, s, McastAlgorithm::kOptMesh, 128, 4096, 7, 6);
+  EXPECT_GT(gap_large, gap_small);
+  EXPECT_GT(gap_large, 0);
+}
+
+// Section 5, BMIN paragraph: same ordering on the 128-node BMIN, and the
+// untuned OPT-tree's contention penalty (vs its own model bound) is
+// milder on the BMIN than on the mesh when up-routing is adaptive
+// ("extra paths allow the BMIN network to reduce the effect of
+// contention").
+TEST(PaperBmin, OrderingHolds) {
+  const auto topo = bmin::make_bmin(128);
+  const double opt_min = mean_latency(*topo, nullptr, McastAlgorithm::kOptMin, 32,
+                                      4096, 5, 8);
+  const double u_min = mean_latency(*topo, nullptr, McastAlgorithm::kUMin, 32,
+                                    4096, 5, 8);
+  const double opt_tree = mean_latency(*topo, nullptr, McastAlgorithm::kOptTree, 32,
+                                       4096, 5, 8);
+  EXPECT_LT(opt_min, u_min);
+  EXPECT_LE(opt_min, opt_tree);
+}
+
+// OPT-mesh and OPT-tree share the tree structure, so the entire latency
+// difference is contention + placement; OPT-mesh must track its model
+// lower bound tightly while OPT-tree (averaged over placements) may not.
+TEST(PaperClaim, OptMeshAchievesItsLowerBound) {
+  const auto topo = mesh::make_mesh2d(16);
+  rt::MulticastRuntime rtm(machine());
+  const auto placements = analysis::sample_placements(2027, 256, 32, 8);
+  for (const auto& p : placements) {
+    sim::Simulator sim(*topo);
+    const auto res = rtm.run_algorithm(sim, McastAlgorithm::kOptMesh, p.source,
+                                       p.dests, 4096, &topo->shape());
+    EXPECT_EQ(res.channel_conflicts, 0);
+    EXPECT_LT(static_cast<double>(res.latency),
+              1.1 * static_cast<double>(res.model_latency));
+  }
+}
+
+}  // namespace
+}  // namespace pcm

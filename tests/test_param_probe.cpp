@@ -1,0 +1,58 @@
+// Tests for measuring (t_hold, t_end) on the simulated network.
+#include <gtest/gtest.h>
+
+#include "bmin/bmin_topology.hpp"
+#include "mesh/mesh_topology.hpp"
+#include "runtime/param_probe.hpp"
+
+namespace pcm::rt {
+namespace {
+
+TEST(ParamProbe, MeshMeasurementBracketsModel) {
+  const auto topo = mesh::make_mesh2d(16);
+  const MachineParams mp = MachineParams::classic();
+  const ProbeResult r = probe_parameters(*topo, mp, 4096, 32, 99);
+  EXPECT_EQ(r.samples, 32);
+  EXPECT_GT(r.t_net, 0);
+  EXPECT_LE(r.t_net_min, r.t_net);
+  EXPECT_LE(r.t_net, r.t_net_max);
+  // Wormhole: the network term is dominated by serialization, so the
+  // measured spread across distances stays small relative to the mean.
+  EXPECT_LT(static_cast<double>(r.t_net_max - r.t_net_min),
+            0.35 * static_cast<double>(r.t_net));
+  // And measured t_end must be close to the model's nominal-hop estimate.
+  const double model_end = static_cast<double>(mp.t_end(4096));
+  EXPECT_NEAR(static_cast<double>(r.t_end), model_end, 0.1 * model_end);
+}
+
+TEST(ParamProbe, HoldComesFromMachineSoftware) {
+  const auto topo = mesh::make_mesh2d(8);
+  const MachineParams mp = MachineParams::classic();
+  const ProbeResult r = probe_parameters(*topo, mp, 1024, 4, 1);
+  EXPECT_EQ(r.t_hold, mp.t_hold(1024));
+  EXPECT_EQ(r.two_param().t_hold, r.t_hold);
+  EXPECT_EQ(r.two_param().t_end, r.t_end);
+}
+
+TEST(ParamProbe, BminPathsMeasured) {
+  const auto topo = bmin::make_bmin(128);
+  const ProbeResult r = probe_parameters(*topo, MachineParams::classic(), 2048, 16, 7);
+  EXPECT_GT(r.t_net, static_cast<Time>(MachineParams::classic().serialization(2048)));
+}
+
+TEST(ParamProbe, Validation) {
+  const auto topo = mesh::make_mesh2d(4);
+  EXPECT_THROW(probe_parameters(*topo, MachineParams::classic(), 64, 0, 1),
+               std::invalid_argument);
+}
+
+TEST(ParamProbe, DeterministicForSeed) {
+  const auto topo = mesh::make_mesh2d(8);
+  const ProbeResult a = probe_parameters(*topo, MachineParams::classic(), 512, 8, 3);
+  const ProbeResult b = probe_parameters(*topo, MachineParams::classic(), 512, 8, 3);
+  EXPECT_EQ(a.t_net, b.t_net);
+  EXPECT_EQ(a.t_end, b.t_end);
+}
+
+}  // namespace
+}  // namespace pcm::rt

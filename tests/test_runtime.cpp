@@ -1,0 +1,170 @@
+// Tests for the software multicast runtime on the flit simulator.
+#include <gtest/gtest.h>
+
+#include "analysis/sampling.hpp"
+#include "bmin/bmin_topology.hpp"
+#include "mesh/mesh_topology.hpp"
+#include "runtime/mcast_runtime.hpp"
+
+namespace pcm::rt {
+namespace {
+
+RuntimeConfig small_machine() {
+  // Small constants keep unit-test simulations short while preserving
+  // t_hold < t_end.
+  RuntimeConfig cfg;
+  cfg.machine.send = LinearCost{40, 1.25 / 16.0};
+  cfg.machine.recv = LinearCost{30, 1.125 / 16.0};
+  cfg.machine.net_fixed = 4;
+  cfg.machine.router_delay = 1;
+  cfg.machine.bytes_per_cycle = 16;
+  cfg.machine.nominal_hops = 8;
+  return cfg;
+}
+
+TEST(WireFlits, IncludesAddressList) {
+  MulticastRuntime rtm(small_machine());
+  // 8-byte base header + 2 bytes per carried address.
+  EXPECT_EQ(rtm.wire_bytes(100, 1), 110);
+  EXPECT_EQ(rtm.wire_bytes(100, 16), 140);
+  EXPECT_EQ(rtm.wire_flits(0, 1), 1);  // header alone still needs a flit
+}
+
+TEST(WireFlits, HeaderCanBeDisabled) {
+  RuntimeConfig cfg = small_machine();
+  cfg.carry_address_list = false;
+  MulticastRuntime rtm(cfg);
+  EXPECT_EQ(rtm.wire_bytes(100, 16), 108);
+}
+
+TEST(Runtime, UnicastPairLatencyNearModel) {
+  const auto topo = mesh::make_mesh2d(8);
+  MulticastRuntime rtm(small_machine());
+  sim::Simulator sim(*topo);
+  const std::array<NodeId, 1> dests{63};
+  const McastResult res = rtm.run_algorithm(sim, McastAlgorithm::kOptTree, 0, dests,
+                                            256, &topo->shape());
+  // One send: latency = t_send + t_net(sim) + t_recv; the model uses
+  // nominal hops, so allow the distance slack.
+  EXPECT_GT(res.latency, 0);
+  EXPECT_NEAR(static_cast<double>(res.latency),
+              static_cast<double>(res.model_latency), 40.0);
+  EXPECT_EQ(res.messages, 1);
+  EXPECT_EQ(res.channel_conflicts, 0);
+}
+
+TEST(Runtime, AllDestinationsReceive) {
+  const auto topo = mesh::make_mesh2d(8);
+  MulticastRuntime rtm(small_machine());
+  const auto placements = analysis::sample_placements(7, 64, 20, 3);
+  for (const auto& p : placements) {
+    for (McastAlgorithm alg : {McastAlgorithm::kOptMesh, McastAlgorithm::kUMesh,
+                               McastAlgorithm::kOptTree, McastAlgorithm::kSequential}) {
+      sim::Simulator sim(*topo);
+      const McastResult res =
+          rtm.run_algorithm(sim, alg, p.source, p.dests, 512, &topo->shape());
+      EXPECT_EQ(res.messages, 19) << algorithm_name(alg);
+      int received = 0;
+      for (Time t : res.recv_complete)
+        if (t >= 0) ++received;
+      EXPECT_EQ(received, 19) << algorithm_name(alg);
+      EXPECT_GT(res.latency, 0) << algorithm_name(alg);
+    }
+  }
+}
+
+TEST(Runtime, ContentionFreeRunMatchesModelClosely) {
+  // OPT-mesh on a quiet mesh: simulated latency must sit within the
+  // distance slack of the model prediction (the paper: "allows the
+  // OPT-mesh tree to achieve their theoretical lower bound").
+  const auto topo = mesh::make_mesh2d(16);
+  MulticastRuntime rtm(small_machine());
+  const auto placements = analysis::sample_placements(23, 256, 32, 4);
+  for (const auto& p : placements) {
+    sim::Simulator sim(*topo);
+    const McastResult res = rtm.run_algorithm(sim, McastAlgorithm::kOptMesh, p.source,
+                                              p.dests, 1024, &topo->shape());
+    EXPECT_EQ(res.channel_conflicts, 0);
+    const double rel = static_cast<double>(res.latency - res.model_latency) /
+                       static_cast<double>(res.model_latency);
+    EXPECT_LT(std::abs(rel), 0.15) << "latency=" << res.latency
+                                   << " model=" << res.model_latency;
+  }
+}
+
+TEST(Runtime, OptMeshNeverSlowerThanUMeshHere) {
+  const auto topo = mesh::make_mesh2d(16);
+  MulticastRuntime rtm(small_machine());
+  const auto placements = analysis::sample_placements(99, 256, 32, 4);
+  for (const auto& p : placements) {
+    sim::Simulator s1(*topo), s2(*topo);
+    const Time opt = rtm.run_algorithm(s1, McastAlgorithm::kOptMesh, p.source, p.dests,
+                                       4096, &topo->shape()).latency;
+    const Time umesh = rtm.run_algorithm(s2, McastAlgorithm::kUMesh, p.source, p.dests,
+                                         4096, &topo->shape()).latency;
+    EXPECT_LE(opt, umesh);
+  }
+}
+
+TEST(Runtime, BminMulticastDelivers) {
+  const auto topo = bmin::make_bmin(128);
+  MulticastRuntime rtm(small_machine());
+  const auto placements = analysis::sample_placements(5, 128, 16, 2);
+  for (const auto& p : placements) {
+    sim::Simulator sim(*topo);
+    const McastResult res =
+        rtm.run_algorithm(sim, McastAlgorithm::kOptMin, p.source, p.dests, 2048);
+    EXPECT_EQ(res.messages, 15);
+    EXPECT_GT(res.latency, 0);
+  }
+}
+
+TEST(Runtime, RefusesBusySimulator) {
+  const auto topo = mesh::make_mesh2d(4);
+  MulticastRuntime rtm(small_machine());
+  sim::Simulator sim(*topo);
+  sim::Message m;
+  m.src = 0;
+  m.dst = 1;
+  m.flits = 1;
+  m.ready_time = 5;
+  sim.post(m);
+  const TwoParam tp = rtm.config().machine.two_param(64);
+  const std::array<NodeId, 1> dests{2};
+  const MulticastTree tree = build_multicast(McastAlgorithm::kOptTree, 0, dests, tp);
+  EXPECT_THROW(rtm.run(sim, tree, 64), std::logic_error);
+}
+
+TEST(Runtime, SequentialLatencyGrowsLinearly) {
+  const auto topo = mesh::make_mesh2d(8);
+  MulticastRuntime rtm(small_machine());
+  std::vector<NodeId> d8, d16;
+  for (NodeId n = 1; n <= 8; ++n) d8.push_back(n);
+  for (NodeId n = 1; n <= 16; ++n) d16.push_back(n);
+  sim::Simulator s1(*topo), s2(*topo);
+  const Time t8 =
+      rtm.run_algorithm(s1, McastAlgorithm::kSequential, 0, d8, 256).latency;
+  const Time t16 =
+      rtm.run_algorithm(s2, McastAlgorithm::kSequential, 0, d16, 256).latency;
+  // Each extra destination costs about one t_hold.
+  const Time hold = rtm.config().machine.t_hold(rtm.wire_bytes(256, 1));
+  EXPECT_NEAR(static_cast<double>(t16 - t8), static_cast<double>(8 * hold),
+              static_cast<double>(hold));
+}
+
+TEST(Runtime, BackToBackRunsOnOneSimulator) {
+  // now() keeps advancing; a second multicast on the same simulator must
+  // still complete and report its own latency.
+  const auto topo = mesh::make_mesh2d(8);
+  MulticastRuntime rtm(small_machine());
+  sim::Simulator sim(*topo);
+  const std::array<NodeId, 3> dests{5, 9, 22};
+  const McastResult a =
+      rtm.run_algorithm(sim, McastAlgorithm::kOptMesh, 0, dests, 128, &topo->shape());
+  const McastResult b =
+      rtm.run_algorithm(sim, McastAlgorithm::kOptMesh, 0, dests, 128, &topo->shape());
+  EXPECT_EQ(a.latency, b.latency);
+}
+
+}  // namespace
+}  // namespace pcm::rt

@@ -1,0 +1,87 @@
+// Tests for deterministic RNG and placement sampling.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/sampling.hpp"
+
+namespace pcm::analysis {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(9);
+  double sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 2000.0, 0.5, 0.05);
+}
+
+TEST(Sampling, PlacementDistinctAndInRange) {
+  Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Placement p = sample_placement(rng, 256, 32);
+    std::set<NodeId> all(p.dests.begin(), p.dests.end());
+    all.insert(p.source);
+    EXPECT_EQ(all.size(), 32u);
+    EXPECT_GE(*all.begin(), 0);
+    EXPECT_LT(*all.rbegin(), 256);
+    EXPECT_EQ(p.dests.size(), 31u);
+  }
+}
+
+TEST(Sampling, FullOccupancyUsesEveryNode) {
+  Rng rng(5);
+  const Placement p = sample_placement(rng, 16, 16);
+  std::set<NodeId> all(p.dests.begin(), p.dests.end());
+  all.insert(p.source);
+  EXPECT_EQ(all.size(), 16u);
+}
+
+TEST(Sampling, RejectsBadK) {
+  Rng rng(5);
+  EXPECT_THROW(sample_placement(rng, 16, 1), std::invalid_argument);
+  EXPECT_THROW(sample_placement(rng, 16, 17), std::invalid_argument);
+}
+
+TEST(Sampling, SeedReproducesPlacements) {
+  const auto a = sample_placements(2026, 128, 32, 16);
+  const auto b = sample_placements(2026, 128, 32, 16);
+  ASSERT_EQ(a.size(), 16u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].source, b[i].source);
+    EXPECT_EQ(a[i].dests, b[i].dests);
+  }
+}
+
+TEST(Sampling, ReplicationsDiffer) {
+  const auto ps = sample_placements(1, 256, 32, 16);
+  int distinct = 0;
+  for (size_t i = 1; i < ps.size(); ++i)
+    if (ps[i].dests != ps[0].dests) ++distinct;
+  EXPECT_GT(distinct, 10);
+}
+
+}  // namespace
+}  // namespace pcm::analysis

@@ -1,0 +1,48 @@
+// Tests for summary statistics.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "analysis/stats.hpp"
+
+namespace pcm::analysis {
+namespace {
+
+TEST(Stats, Empty) {
+  const Stats s = summarize({});
+  EXPECT_EQ(s.n, 0);
+  EXPECT_EQ(s.mean, 0);
+}
+
+TEST(Stats, SingleSample) {
+  const std::array<double, 1> xs{42.0};
+  const Stats s = summarize(xs);
+  EXPECT_EQ(s.n, 1);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 42.0);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
+}
+
+TEST(Stats, KnownValues) {
+  const std::array<double, 4> xs{2, 4, 4, 6};
+  const Stats s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_NEAR(s.stddev, 1.632993, 1e-5);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  EXPECT_NEAR(s.ci95, 1.96 * 1.632993 / 2.0, 1e-4);
+  EXPECT_LT(s.lo(), s.mean);
+  EXPECT_GT(s.hi(), s.mean);
+}
+
+TEST(Stats, ConstantSeriesHasZeroSpread) {
+  const std::array<double, 16> xs{7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7};
+  const Stats s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95, 0.0);
+}
+
+}  // namespace
+}  // namespace pcm::analysis

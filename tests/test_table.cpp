@@ -1,0 +1,39 @@
+// Tests for the bench table renderer.
+#include <gtest/gtest.h>
+
+#include "analysis/table.hpp"
+
+namespace pcm::analysis {
+namespace {
+
+TEST(Table, AlignedRendering) {
+  Table t({"k", "U-Mesh", "OPT-Mesh"});
+  t.add_row({"8", "165", "130"});
+  t.add_row({"32", "1650", "1300"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("U-Mesh"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_NE(s.find("1650"), std::string::npos);
+  // Every line has equal trailing alignment: rows end with the last cell.
+  EXPECT_NE(s.find("130\n"), std::string::npos);
+}
+
+TEST(Table, CsvRendering) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.0, 0), "3");
+  EXPECT_EQ(Table::num(1234.5), "1234.5");
+}
+
+}  // namespace
+}  // namespace pcm::analysis

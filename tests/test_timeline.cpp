@@ -1,0 +1,89 @@
+// Tests for per-message timeline extraction and rendering.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "analysis/timeline.hpp"
+#include "mesh/mesh_topology.hpp"
+#include "runtime/mcast_runtime.hpp"
+
+namespace pcm::analysis {
+namespace {
+
+TEST(Timeline, RowsSortedByDelivery) {
+  const auto topo = mesh::make_mesh2d(8);
+  rt::MulticastRuntime rtm(rt::RuntimeConfig{});
+  sim::Simulator sim(*topo);
+  const std::array<NodeId, 6> dests{3, 9, 22, 40, 51, 60};
+  rtm.run_algorithm(sim, McastAlgorithm::kOptMesh, 0, dests, 1024, &topo->shape());
+  const auto rows = message_timeline(sim.messages());
+  ASSERT_EQ(rows.size(), 6u);
+  for (size_t i = 1; i < rows.size(); ++i)
+    EXPECT_GE(rows[i].delivered, rows[i - 1].delivered);
+  for (const auto& r : rows) {
+    EXPECT_LE(r.ready, r.inject);
+    EXPECT_LT(r.inject, r.delivered);
+    EXPECT_EQ(r.blocked, 0);
+  }
+}
+
+TEST(Timeline, SkipsUndeliveredMessages) {
+  sim::MessageTable table;
+  sim::Message m;
+  m.src = 0;
+  m.dst = 1;
+  m.flits = 1;
+  table.add(m);  // never simulated: delivered == -1
+  EXPECT_TRUE(message_timeline(table).empty());
+}
+
+TEST(Timeline, CsvWellFormed) {
+  const auto topo = mesh::make_mesh2d(4);
+  rt::MulticastRuntime rtm(rt::RuntimeConfig{});
+  sim::Simulator sim(*topo);
+  const std::array<NodeId, 2> dests{5, 10};
+  rtm.run_algorithm(sim, McastAlgorithm::kOptTree, 0, dests, 256);
+  const std::string csv = timeline_csv(message_timeline(sim.messages()));
+  EXPECT_NE(csv.find("id,src,dst,ready,inject,delivered,blocked"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(Timeline, GanttRendersOneRowPerMessage) {
+  const auto topo = mesh::make_mesh2d(8);
+  rt::MulticastRuntime rtm(rt::RuntimeConfig{});
+  sim::Simulator sim(*topo);
+  const std::array<NodeId, 4> dests{9, 18, 27, 36};
+  rtm.run_algorithm(sim, McastAlgorithm::kOptMesh, 0, dests, 2048, &topo->shape());
+  const auto rows = message_timeline(sim.messages());
+  const std::string g = timeline_gantt(rows, 40);
+  EXPECT_EQ(std::count(g.begin(), g.end(), '\n'), 5);  // header + 4 rows
+  EXPECT_NE(g.find('='), std::string::npos);
+  EXPECT_NE(g.find("->"), std::string::npos);
+}
+
+TEST(Timeline, GanttMarksBlockedMessages) {
+  const auto topo = mesh::make_mesh2d(4);
+  const MeshShape& s = topo->shape();
+  sim::Simulator sim(*topo);
+  sim::Message a;
+  a.src = s.node_at({0, 0});
+  a.dst = s.node_at({0, 3});
+  a.flits = 32;
+  sim.post(a);
+  sim::Message b;
+  b.src = s.node_at({0, 1});
+  b.dst = s.node_at({1, 3});
+  b.flits = 32;
+  sim.post(b);
+  sim.run_until_idle();
+  const std::string g = timeline_gantt(message_timeline(sim.messages()), 48);
+  EXPECT_NE(g.find('#'), std::string::npos);
+}
+
+TEST(Timeline, GanttValidation) {
+  EXPECT_THROW(timeline_gantt({}, 4), std::invalid_argument);
+  EXPECT_EQ(timeline_gantt({}, 40), "(no messages)\n");
+}
+
+}  // namespace
+}  // namespace pcm::analysis

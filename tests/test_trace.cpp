@@ -1,0 +1,152 @@
+// Tests for channel-hold trace recording and the wormhole invariants it
+// machine-checks.
+#include <gtest/gtest.h>
+
+#include "analysis/sampling.hpp"
+#include "analysis/trace.hpp"
+#include "bmin/bmin_topology.hpp"
+#include "mesh/mesh_topology.hpp"
+#include "runtime/mcast_runtime.hpp"
+
+namespace pcm::analysis {
+namespace {
+
+sim::Message mk(NodeId src, NodeId dst, int flits, Time ready = 0) {
+  sim::Message m;
+  m.src = src;
+  m.dst = dst;
+  m.flits = flits;
+  m.ready_time = ready;
+  return m;
+}
+
+TEST(Trace, SingleMessageHoldsExactlyItsPath) {
+  const auto topo = mesh::make_mesh2d(4);
+  sim::Simulator sim(*topo);
+  ChannelTraceRecorder trace(*topo);
+  sim.set_observer(&trace);
+  sim.post(mk(0, 15, 8));
+  sim.run_until_idle();
+  EXPECT_TRUE(trace.complete());
+  EXPECT_EQ(trace.verify(sim.messages()), "");
+  const auto path = sim::trace_path(*topo, 0, 15);
+  EXPECT_EQ(trace.holds().size(), path.size());
+  // Each path channel held exactly once, in path order.
+  for (size_t i = 0; i < path.size(); ++i)
+    EXPECT_EQ(trace.holds()[i].channel, path[i]) << "hop " << i;
+  // Holds begin in increasing time along the path.
+  for (size_t i = 1; i < trace.holds().size(); ++i)
+    EXPECT_GT(trace.holds()[i].start, trace.holds()[i - 1].start);
+  EXPECT_TRUE(trace.blocks().empty());
+}
+
+TEST(Trace, HoldDurationCoversSerialization) {
+  const auto topo = mesh::make_mesh2d(4);
+  sim::Simulator sim(*topo);
+  ChannelTraceRecorder trace(*topo);
+  sim.set_observer(&trace);
+  const int flits = 32;
+  sim.post(mk(0, 3, flits));
+  sim.run_until_idle();
+  for (const auto& h : trace.holds())
+    EXPECT_GE(h.end - h.start, static_cast<Time>(flits) - 1);
+}
+
+TEST(Trace, BlockedHeadsAreRecorded) {
+  const auto topo = mesh::make_mesh2d(4);
+  const MeshShape& s = topo->shape();
+  sim::Simulator sim(*topo);
+  ChannelTraceRecorder trace(*topo);
+  sim.set_observer(&trace);
+  // Same contended pair as the simulator test: shared d1+ column channels.
+  sim.post(mk(s.node_at({0, 0}), s.node_at({0, 3}), 32));
+  sim.post(mk(s.node_at({0, 1}), s.node_at({1, 3}), 32));
+  sim.run_until_idle();
+  EXPECT_FALSE(trace.blocks().empty());
+  EXPECT_EQ(static_cast<long long>(trace.blocks().size()),
+            sim.stats().channel_conflicts);
+  EXPECT_EQ(trace.verify(sim.messages()), "");  // holds still serial
+}
+
+TEST(Trace, TunedMulticastHasSerialHoldsAndNoBlocks) {
+  const auto topo = mesh::make_mesh2d(16);
+  rt::MulticastRuntime rtm(rt::RuntimeConfig{});
+  const auto placements = sample_placements(11, 256, 32, 3);
+  for (const auto& p : placements) {
+    sim::Simulator sim(*topo);
+    ChannelTraceRecorder trace(*topo);
+    sim.set_observer(&trace);
+    rtm.run_algorithm(sim, McastAlgorithm::kOptMesh, p.source, p.dests, 4096,
+                      &topo->shape());
+    EXPECT_TRUE(trace.complete());
+    EXPECT_TRUE(trace.blocks().empty());
+    EXPECT_EQ(trace.verify(sim.messages()), "");
+    // 31 messages, each holding path-length channels exactly once.
+    long long expected = 0;
+    for (const auto& m : sim.messages().all())
+      expected += static_cast<long long>(sim::trace_path(*topo, m.src, m.dst).size());
+    EXPECT_EQ(static_cast<long long>(trace.holds().size()), expected);
+  }
+}
+
+TEST(Trace, BminAdaptivePathsSkipPathCheck) {
+  const auto topo = bmin::make_bmin(32, bmin::UpPolicy::kAdaptive);
+  sim::Simulator sim(*topo);
+  ChannelTraceRecorder trace(*topo);
+  sim.set_observer(&trace);
+  sim.post(mk(0, 31, 16));
+  sim.post(mk(1, 30, 16));
+  sim.run_until_idle();
+  // Adaptive routing may diverge from the first-candidate path; the
+  // serial-reuse invariant must still hold.
+  EXPECT_EQ(trace.verify(sim.messages(), /*check_paths=*/false), "");
+}
+
+TEST(Trace, UtilizationRanksBusiestChannel) {
+  const auto topo = mesh::make_mesh2d(4);
+  sim::Simulator sim(*topo);
+  ChannelTraceRecorder trace(*topo);
+  sim.set_observer(&trace);
+  // Three messages over the same column channel (0,0)->(0,1).
+  sim.post(mk(topo->shape().node_at({0, 0}), topo->shape().node_at({0, 3}), 16, 0));
+  sim.post(mk(topo->shape().node_at({0, 0}), topo->shape().node_at({0, 2}), 16, 200));
+  sim.post(mk(topo->shape().node_at({0, 0}), topo->shape().node_at({0, 1}), 16, 400));
+  sim.run_until_idle();
+  const auto uses = trace.utilization(1);
+  ASSERT_EQ(uses.size(), 1u);
+  EXPECT_EQ(uses[0].holds, 3);
+  // The shared first-hop channel is the local->... actually the busiest
+  // is the column channel (0,0).d1+ used by all three messages.
+  const auto all = trace.utilization();
+  EXPECT_GE(all.size(), 3u);
+  EXPECT_GE(all[0].busy, all[1].busy);
+}
+
+TEST(Trace, CsvContainsHeaderAndRows) {
+  const auto topo = mesh::make_mesh2d(4);
+  sim::Simulator sim(*topo);
+  ChannelTraceRecorder trace(*topo);
+  sim.set_observer(&trace);
+  sim.post(mk(0, 5, 4));
+  sim.run_until_idle();
+  const std::string csv = trace.to_csv();
+  EXPECT_NE(csv.find("channel,name,msg,start,end"), std::string::npos);
+  EXPECT_NE(csv.find("mesh("), std::string::npos);
+}
+
+TEST(Trace, ClearResets) {
+  const auto topo = mesh::make_mesh2d(4);
+  sim::Simulator sim(*topo);
+  ChannelTraceRecorder trace(*topo);
+  sim.set_observer(&trace);
+  sim.post(mk(0, 5, 4));
+  sim.run_until_idle();
+  EXPECT_FALSE(trace.holds().empty());
+  trace.clear();
+  EXPECT_TRUE(trace.holds().empty());
+  EXPECT_TRUE(trace.blocks().empty());
+  EXPECT_TRUE(trace.complete());
+}
+
+}  // namespace
+}  // namespace pcm::analysis

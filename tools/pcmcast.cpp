@@ -1,0 +1,18 @@
+// pcmcast: command-line driver for multicast experiments (see --help).
+#include <exception>
+#include <iostream>
+#include <string_view>
+#include <vector>
+
+#include "cli/options.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string_view> args(argv + 1, argv + argc);
+  try {
+    const pcm::cli::CliOptions opt = pcm::cli::parse_args(args);
+    return pcm::cli::run_cli(opt, std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}
