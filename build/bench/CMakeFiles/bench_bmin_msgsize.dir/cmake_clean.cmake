@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bmin_msgsize.dir/bench_bmin_msgsize.cpp.o"
+  "CMakeFiles/bench_bmin_msgsize.dir/bench_bmin_msgsize.cpp.o.d"
+  "bench_bmin_msgsize"
+  "bench_bmin_msgsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bmin_msgsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

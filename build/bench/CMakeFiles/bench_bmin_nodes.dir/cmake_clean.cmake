@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bmin_nodes.dir/bench_bmin_nodes.cpp.o"
+  "CMakeFiles/bench_bmin_nodes.dir/bench_bmin_nodes.cpp.o.d"
+  "bench_bmin_nodes"
+  "bench_bmin_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bmin_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

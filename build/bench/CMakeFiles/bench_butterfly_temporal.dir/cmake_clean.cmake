@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_butterfly_temporal.dir/bench_butterfly_temporal.cpp.o"
+  "CMakeFiles/bench_butterfly_temporal.dir/bench_butterfly_temporal.cpp.o.d"
+  "bench_butterfly_temporal"
+  "bench_butterfly_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_butterfly_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_concurrent_groups.dir/bench_concurrent_groups.cpp.o"
+  "CMakeFiles/bench_concurrent_groups.dir/bench_concurrent_groups.cpp.o.d"
+  "bench_concurrent_groups"
+  "bench_concurrent_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_concurrent_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

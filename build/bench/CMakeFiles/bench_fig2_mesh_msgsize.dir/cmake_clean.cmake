@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_mesh_msgsize.dir/bench_fig2_mesh_msgsize.cpp.o"
+  "CMakeFiles/bench_fig2_mesh_msgsize.dir/bench_fig2_mesh_msgsize.cpp.o.d"
+  "bench_fig2_mesh_msgsize"
+  "bench_fig2_mesh_msgsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_mesh_msgsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

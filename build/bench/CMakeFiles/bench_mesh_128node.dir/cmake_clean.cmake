@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mesh_128node.dir/bench_mesh_128node.cpp.o"
+  "CMakeFiles/bench_mesh_128node.dir/bench_mesh_128node.cpp.o.d"
+  "bench_mesh_128node"
+  "bench_mesh_128node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mesh_128node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiport.dir/bench_multiport.cpp.o"
+  "CMakeFiles/bench_multiport.dir/bench_multiport.cpp.o.d"
+  "bench_multiport"
+  "bench_multiport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/butterfly_temporal.dir/butterfly_temporal.cpp.o"
+  "CMakeFiles/butterfly_temporal.dir/butterfly_temporal.cpp.o.d"
+  "butterfly_temporal"
+  "butterfly_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/butterfly_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

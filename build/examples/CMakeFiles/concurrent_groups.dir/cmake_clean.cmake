@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_groups.dir/concurrent_groups.cpp.o"
+  "CMakeFiles/concurrent_groups.dir/concurrent_groups.cpp.o.d"
+  "concurrent_groups"
+  "concurrent_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

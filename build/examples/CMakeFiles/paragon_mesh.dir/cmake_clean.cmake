@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paragon_mesh.dir/paragon_mesh.cpp.o"
+  "CMakeFiles/paragon_mesh.dir/paragon_mesh.cpp.o.d"
+  "paragon_mesh"
+  "paragon_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paragon_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

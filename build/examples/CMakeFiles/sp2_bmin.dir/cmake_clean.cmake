@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp2_bmin.dir/sp2_bmin.cpp.o"
+  "CMakeFiles/sp2_bmin.dir/sp2_bmin.cpp.o.d"
+  "sp2_bmin"
+  "sp2_bmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp2_bmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

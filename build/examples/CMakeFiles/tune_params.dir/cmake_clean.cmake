@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_params.dir/tune_params.cpp.o"
+  "CMakeFiles/tune_params.dir/tune_params.cpp.o.d"
+  "tune_params"
+  "tune_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

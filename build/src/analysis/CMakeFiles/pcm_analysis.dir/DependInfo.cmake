@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/contention.cpp" "src/analysis/CMakeFiles/pcm_analysis.dir/contention.cpp.o" "gcc" "src/analysis/CMakeFiles/pcm_analysis.dir/contention.cpp.o.d"
+  "/root/repo/src/analysis/sampling.cpp" "src/analysis/CMakeFiles/pcm_analysis.dir/sampling.cpp.o" "gcc" "src/analysis/CMakeFiles/pcm_analysis.dir/sampling.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/analysis/CMakeFiles/pcm_analysis.dir/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/pcm_analysis.dir/stats.cpp.o.d"
+  "/root/repo/src/analysis/table.cpp" "src/analysis/CMakeFiles/pcm_analysis.dir/table.cpp.o" "gcc" "src/analysis/CMakeFiles/pcm_analysis.dir/table.cpp.o.d"
+  "/root/repo/src/analysis/timeline.cpp" "src/analysis/CMakeFiles/pcm_analysis.dir/timeline.cpp.o" "gcc" "src/analysis/CMakeFiles/pcm_analysis.dir/timeline.cpp.o.d"
+  "/root/repo/src/analysis/trace.cpp" "src/analysis/CMakeFiles/pcm_analysis.dir/trace.cpp.o" "gcc" "src/analysis/CMakeFiles/pcm_analysis.dir/trace.cpp.o.d"
+  "/root/repo/src/analysis/viz.cpp" "src/analysis/CMakeFiles/pcm_analysis.dir/viz.cpp.o" "gcc" "src/analysis/CMakeFiles/pcm_analysis.dir/viz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pcm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/pcm_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pcm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcm_analysis.dir/contention.cpp.o"
+  "CMakeFiles/pcm_analysis.dir/contention.cpp.o.d"
+  "CMakeFiles/pcm_analysis.dir/sampling.cpp.o"
+  "CMakeFiles/pcm_analysis.dir/sampling.cpp.o.d"
+  "CMakeFiles/pcm_analysis.dir/stats.cpp.o"
+  "CMakeFiles/pcm_analysis.dir/stats.cpp.o.d"
+  "CMakeFiles/pcm_analysis.dir/table.cpp.o"
+  "CMakeFiles/pcm_analysis.dir/table.cpp.o.d"
+  "CMakeFiles/pcm_analysis.dir/timeline.cpp.o"
+  "CMakeFiles/pcm_analysis.dir/timeline.cpp.o.d"
+  "CMakeFiles/pcm_analysis.dir/trace.cpp.o"
+  "CMakeFiles/pcm_analysis.dir/trace.cpp.o.d"
+  "CMakeFiles/pcm_analysis.dir/viz.cpp.o"
+  "CMakeFiles/pcm_analysis.dir/viz.cpp.o.d"
+  "libpcm_analysis.a"
+  "libpcm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

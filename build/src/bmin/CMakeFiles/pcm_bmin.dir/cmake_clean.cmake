@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcm_bmin.dir/bmin_topology.cpp.o"
+  "CMakeFiles/pcm_bmin.dir/bmin_topology.cpp.o.d"
+  "libpcm_bmin.a"
+  "libpcm_bmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcm_bmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

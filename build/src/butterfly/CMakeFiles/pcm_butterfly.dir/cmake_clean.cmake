@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcm_butterfly.dir/butterfly_topology.cpp.o"
+  "CMakeFiles/pcm_butterfly.dir/butterfly_topology.cpp.o.d"
+  "CMakeFiles/pcm_butterfly.dir/temporal_order.cpp.o"
+  "CMakeFiles/pcm_butterfly.dir/temporal_order.cpp.o.d"
+  "libpcm_butterfly.a"
+  "libpcm_butterfly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcm_butterfly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

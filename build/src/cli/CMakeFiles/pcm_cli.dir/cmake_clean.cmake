@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcm_cli.dir/options.cpp.o"
+  "CMakeFiles/pcm_cli.dir/options.cpp.o.d"
+  "libpcm_cli.a"
+  "libpcm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

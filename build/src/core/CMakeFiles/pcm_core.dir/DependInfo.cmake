@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/address.cpp" "src/core/CMakeFiles/pcm_core.dir/address.cpp.o" "gcc" "src/core/CMakeFiles/pcm_core.dir/address.cpp.o.d"
+  "/root/repo/src/core/algorithms.cpp" "src/core/CMakeFiles/pcm_core.dir/algorithms.cpp.o" "gcc" "src/core/CMakeFiles/pcm_core.dir/algorithms.cpp.o.d"
+  "/root/repo/src/core/chain.cpp" "src/core/CMakeFiles/pcm_core.dir/chain.cpp.o" "gcc" "src/core/CMakeFiles/pcm_core.dir/chain.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/pcm_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/pcm_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/multicast_tree.cpp" "src/core/CMakeFiles/pcm_core.dir/multicast_tree.cpp.o" "gcc" "src/core/CMakeFiles/pcm_core.dir/multicast_tree.cpp.o.d"
+  "/root/repo/src/core/opt_tree.cpp" "src/core/CMakeFiles/pcm_core.dir/opt_tree.cpp.o" "gcc" "src/core/CMakeFiles/pcm_core.dir/opt_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

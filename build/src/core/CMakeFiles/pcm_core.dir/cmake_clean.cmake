@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcm_core.dir/address.cpp.o"
+  "CMakeFiles/pcm_core.dir/address.cpp.o.d"
+  "CMakeFiles/pcm_core.dir/algorithms.cpp.o"
+  "CMakeFiles/pcm_core.dir/algorithms.cpp.o.d"
+  "CMakeFiles/pcm_core.dir/chain.cpp.o"
+  "CMakeFiles/pcm_core.dir/chain.cpp.o.d"
+  "CMakeFiles/pcm_core.dir/model.cpp.o"
+  "CMakeFiles/pcm_core.dir/model.cpp.o.d"
+  "CMakeFiles/pcm_core.dir/multicast_tree.cpp.o"
+  "CMakeFiles/pcm_core.dir/multicast_tree.cpp.o.d"
+  "CMakeFiles/pcm_core.dir/opt_tree.cpp.o"
+  "CMakeFiles/pcm_core.dir/opt_tree.cpp.o.d"
+  "libpcm_core.a"
+  "libpcm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcm_mesh.dir/mesh_topology.cpp.o"
+  "CMakeFiles/pcm_mesh.dir/mesh_topology.cpp.o.d"
+  "libpcm_mesh.a"
+  "libpcm_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcm_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

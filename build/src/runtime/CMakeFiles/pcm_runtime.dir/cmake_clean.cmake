@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcm_runtime.dir/collectives.cpp.o"
+  "CMakeFiles/pcm_runtime.dir/collectives.cpp.o.d"
+  "CMakeFiles/pcm_runtime.dir/mcast_runtime.cpp.o"
+  "CMakeFiles/pcm_runtime.dir/mcast_runtime.cpp.o.d"
+  "CMakeFiles/pcm_runtime.dir/param_probe.cpp.o"
+  "CMakeFiles/pcm_runtime.dir/param_probe.cpp.o.d"
+  "libpcm_runtime.a"
+  "libpcm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcm_sim.dir/channel.cpp.o"
+  "CMakeFiles/pcm_sim.dir/channel.cpp.o.d"
+  "CMakeFiles/pcm_sim.dir/network.cpp.o"
+  "CMakeFiles/pcm_sim.dir/network.cpp.o.d"
+  "CMakeFiles/pcm_sim.dir/router.cpp.o"
+  "CMakeFiles/pcm_sim.dir/router.cpp.o.d"
+  "CMakeFiles/pcm_sim.dir/simulator.cpp.o"
+  "CMakeFiles/pcm_sim.dir/simulator.cpp.o.d"
+  "libpcm_sim.a"
+  "libpcm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bmin_policies.dir/test_bmin_policies.cpp.o"
+  "CMakeFiles/test_bmin_policies.dir/test_bmin_policies.cpp.o.d"
+  "test_bmin_policies"
+  "test_bmin_policies.pdb"
+  "test_bmin_policies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bmin_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

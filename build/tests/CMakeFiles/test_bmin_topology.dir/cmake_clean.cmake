@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bmin_topology.dir/test_bmin_topology.cpp.o"
+  "CMakeFiles/test_bmin_topology.dir/test_bmin_topology.cpp.o.d"
+  "test_bmin_topology"
+  "test_bmin_topology.pdb"
+  "test_bmin_topology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bmin_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flit_fifo.dir/test_flit_fifo.cpp.o"
+  "CMakeFiles/test_flit_fifo.dir/test_flit_fifo.cpp.o.d"
+  "test_flit_fifo"
+  "test_flit_fifo.pdb"
+  "test_flit_fifo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flit_fifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multicast_tree.dir/test_multicast_tree.cpp.o"
+  "CMakeFiles/test_multicast_tree.dir/test_multicast_tree.cpp.o.d"
+  "test_multicast_tree"
+  "test_multicast_tree.pdb"
+  "test_multicast_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multicast_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiport.dir/test_multiport.cpp.o"
+  "CMakeFiles/test_multiport.dir/test_multiport.cpp.o.d"
+  "test_multiport"
+  "test_multiport.pdb"
+  "test_multiport[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

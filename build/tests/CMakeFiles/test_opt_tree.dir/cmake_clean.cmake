@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt_tree.dir/test_opt_tree.cpp.o"
+  "CMakeFiles/test_opt_tree.dir/test_opt_tree.cpp.o.d"
+  "test_opt_tree"
+  "test_opt_tree.pdb"
+  "test_opt_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

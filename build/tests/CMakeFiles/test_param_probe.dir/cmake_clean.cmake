@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_param_probe.dir/test_param_probe.cpp.o"
+  "CMakeFiles/test_param_probe.dir/test_param_probe.cpp.o.d"
+  "test_param_probe"
+  "test_param_probe.pdb"
+  "test_param_probe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_param_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_errors.dir/test_sim_errors.cpp.o"
+  "CMakeFiles/test_sim_errors.dir/test_sim_errors.cpp.o.d"
+  "test_sim_errors"
+  "test_sim_errors.pdb"
+  "test_sim_errors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmcast.dir/pcmcast.cpp.o"
+  "CMakeFiles/pcmcast.dir/pcmcast.cpp.o.d"
+  "pcmcast"
+  "pcmcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
