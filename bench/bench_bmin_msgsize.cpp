@@ -4,32 +4,33 @@
 // The OPT-Tree series is run under both the deterministic and the
 // adaptive up-routing policy to quantify the paper's remark that the
 // BMIN's extra paths soften contention.
-#include "bench/common.hpp"
+#include "harness/harness.hpp"
 #include "bmin/bmin_topology.hpp"
 
 using namespace pcm;
-using namespace pcm::benchx;
+using namespace pcm::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  Harness h("bench_bmin_msgsize", argc, argv);
   const auto det = bmin::make_bmin(128, bmin::UpPolicy::kSourceAddress);
   const auto ada = bmin::make_bmin(128, bmin::UpPolicy::kAdaptive);
   rt::RuntimeConfig cfg;
   rt::MulticastRuntime rtm(cfg);
 
-  print_preamble("E5a: 32-node multicast on 128-node BMIN, latency vs message size",
+  h.preamble("E5a: 32-node multicast on 128-node BMIN, latency vs message size",
                  cfg, 4096, kPaperReps);
 
   analysis::Table t({"size", "U-Min", "OPT-Tree", "OPT-Tree(ada)", "OPT-Min",
                      "OT confl", "OT confl(ada)", "U/OPT-Min"});
   for (Bytes size = 0; size <= 65536; size += 8192) {
     const auto placements = analysis::sample_placements(kSeed, 128, 32, kPaperReps);
-    const Point u = run_point(*det, nullptr, rtm, McastAlgorithm::kUMin, placements, size);
+    const Point u = h.run_point(*det, nullptr, rtm, McastAlgorithm::kUMin, placements, size);
     const Point ot =
-        run_point(*det, nullptr, rtm, McastAlgorithm::kOptTree, placements, size);
+        h.run_point(*det, nullptr, rtm, McastAlgorithm::kOptTree, placements, size);
     const Point ota =
-        run_point(*ada, nullptr, rtm, McastAlgorithm::kOptTree, placements, size);
+        h.run_point(*ada, nullptr, rtm, McastAlgorithm::kOptTree, placements, size);
     const Point om =
-        run_point(*det, nullptr, rtm, McastAlgorithm::kOptMin, placements, size);
+        h.run_point(*det, nullptr, rtm, McastAlgorithm::kOptMin, placements, size);
     t.add_row({size_label(size), analysis::Table::num(u.latency.mean, 0),
                analysis::Table::num(ot.latency.mean, 0),
                analysis::Table::num(ota.latency.mean, 0),
@@ -38,7 +39,7 @@ int main() {
                analysis::Table::num(ota.mean_conflicts, 0),
                analysis::Table::num(u.latency.mean / om.latency.mean, 2)});
   }
-  t.print("BMIN, latency vs message size (cycles)", "bmin_msgsize.csv");
+  h.report(t, "BMIN, latency vs message size (cycles)", "bmin_msgsize.csv");
 
   std::cout << "\nExpectation (paper): ordering as on the mesh (OPT-Min < "
                "OPT-Tree < U-Min) but the OPT-Tree contention overhead is "

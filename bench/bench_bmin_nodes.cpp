@@ -1,36 +1,37 @@
 // E5b — the Figure-3 analogue on the 128-node BMIN: 4 KB multicast
 // latency vs number of nodes; U-Min vs OPT-Tree vs OPT-Min.
-#include "bench/common.hpp"
+#include "harness/harness.hpp"
 #include "bmin/bmin_topology.hpp"
 
 using namespace pcm;
-using namespace pcm::benchx;
+using namespace pcm::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  Harness h("bench_bmin_nodes", argc, argv);
   const auto topo = bmin::make_bmin(128, bmin::UpPolicy::kSourceAddress);
   rt::RuntimeConfig cfg;
   rt::MulticastRuntime rtm(cfg);
   const Bytes size = 4096;
 
-  print_preamble("E5b: 4 KB multicast on 128-node BMIN, latency vs number of nodes",
+  h.preamble("E5b: 4 KB multicast on 128-node BMIN, latency vs number of nodes",
                  cfg, size, kPaperReps);
 
   analysis::Table t({"nodes", "U-Min", "OPT-Tree", "OPT-Min", "OPT-Tree confl",
                      "U/OPT-Min"});
   for (int k : {4, 8, 16, 32, 64, 96, 128}) {
     const auto placements = analysis::sample_placements(kSeed + k, 128, k, kPaperReps);
-    const Point u = run_point(*topo, nullptr, rtm, McastAlgorithm::kUMin, placements, size);
+    const Point u = h.run_point(*topo, nullptr, rtm, McastAlgorithm::kUMin, placements, size);
     const Point ot =
-        run_point(*topo, nullptr, rtm, McastAlgorithm::kOptTree, placements, size);
+        h.run_point(*topo, nullptr, rtm, McastAlgorithm::kOptTree, placements, size);
     const Point om =
-        run_point(*topo, nullptr, rtm, McastAlgorithm::kOptMin, placements, size);
+        h.run_point(*topo, nullptr, rtm, McastAlgorithm::kOptMin, placements, size);
     t.add_row({std::to_string(k), analysis::Table::num(u.latency.mean, 0),
                analysis::Table::num(ot.latency.mean, 0),
                analysis::Table::num(om.latency.mean, 0),
                analysis::Table::num(ot.mean_conflicts, 0),
                analysis::Table::num(u.latency.mean / om.latency.mean, 2)});
   }
-  t.print("BMIN, 4 KB latency vs nodes (cycles)", "bmin_nodes.csv");
+  h.report(t, "BMIN, 4 KB latency vs nodes (cycles)", "bmin_nodes.csv");
 
   std::cout << "\nExpectation (paper): results 'quite similar' to the mesh "
                "Figure 3 — the U-Min binomial depth penalty grows with k, "

@@ -5,18 +5,18 @@
 // path), so Theorem 1 does not transfer to the upward direction; this
 // bench quantifies how much contention the reversed trees actually see
 // and how reduce/barrier latency compares to the multicast bound.
-#include "bench/common.hpp"
+#include "harness/harness.hpp"
 #include "bmin/bmin_topology.hpp"
 #include "mesh/mesh_topology.hpp"
 #include "runtime/collectives.hpp"
 
 using namespace pcm;
-using namespace pcm::benchx;
+using namespace pcm::harness;
 
 namespace {
 
-void sweep(const sim::Topology& topo, const MeshShape* shape, McastAlgorithm alg,
-           const std::string& title, const std::string& csv) {
+void sweep(Harness& h, const sim::Topology& topo, const MeshShape* shape,
+           McastAlgorithm alg, const std::string& title, const std::string& csv) {
   rt::RuntimeConfig cfg;
   rt::CollectiveRuntime coll(cfg);
   const Bytes payload = 4096;
@@ -26,18 +26,33 @@ void sweep(const sim::Topology& topo, const MeshShape* shape, McastAlgorithm alg
     if (k > topo.num_nodes()) break;
     const auto placements =
         analysis::sample_placements(kSeed + k, topo.num_nodes(), k, kPaperReps);
-    double mcast = 0, reduce = 0, blk = 0, barrier = 0, model = 0;
-    for (const auto& p : placements) {
+    // Indexed slots keep the summation in placement order, so the output
+    // is identical at any --jobs value.
+    struct Slot {
+      double mcast = 0, reduce = 0, blk = 0, barrier = 0, model = 0;
+    };
+    std::vector<Slot> slots(placements.size());
+    h.parallel_for(placements.size(), [&](std::size_t i) {
+      const auto& p = placements[i];
+      Slot& s = slots[i];
       const TwoParam tp = cfg.machine.two_param(
           coll.multicast().wire_bytes(payload, 1));
       const MulticastTree tree = build_multicast(alg, p.source, p.dests, tp, shape);
       sim::Simulator s1(topo), s2(topo), s3(topo);
-      mcast += static_cast<double>(coll.multicast().run(s1, tree, payload).latency);
+      s.mcast += static_cast<double>(coll.multicast().run(s1, tree, payload).latency);
       const rt::ReduceResult r = coll.run_reduce(s2, tree, payload);
-      reduce += static_cast<double>(r.latency);
-      blk += static_cast<double>(r.channel_conflicts);
-      model += static_cast<double>(r.model_latency);
-      barrier += static_cast<double>(coll.run_barrier(s3, tree, payload).latency);
+      s.reduce += static_cast<double>(r.latency);
+      s.blk += static_cast<double>(r.channel_conflicts);
+      s.model += static_cast<double>(r.model_latency);
+      s.barrier += static_cast<double>(coll.run_barrier(s3, tree, payload).latency);
+    });
+    double mcast = 0, reduce = 0, blk = 0, barrier = 0, model = 0;
+    for (const Slot& s : slots) {
+      mcast += s.mcast;
+      reduce += s.reduce;
+      blk += s.blk;
+      barrier += s.barrier;
+      model += s.model;
     }
     const double n = static_cast<double>(placements.size());
     t.add_row({std::to_string(k), analysis::Table::num(mcast / n, 0),
@@ -45,22 +60,23 @@ void sweep(const sim::Topology& topo, const MeshShape* shape, McastAlgorithm alg
                analysis::Table::num(barrier / n, 0),
                analysis::Table::num(reduce / model, 3)});
   }
-  t.print(title, csv);
+  h.report(t, title, csv);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Harness h("bench_collectives", argc, argv);
   rt::RuntimeConfig cfg;
-  print_preamble("E13: reduction and barrier over tuned trees (4 KB partials)",
-                 cfg, 4096, kPaperReps);
+  h.preamble("E13: reduction and barrier over tuned trees (4 KB partials)",
+             cfg, 4096, kPaperReps);
 
   const auto mesh_topo = mesh::make_mesh2d(16);
-  sweep(*mesh_topo, &mesh_topo->shape(), McastAlgorithm::kOptMesh,
+  sweep(h, *mesh_topo, &mesh_topo->shape(), McastAlgorithm::kOptMesh,
         "16x16 mesh, OPT-mesh trees", "collectives_mesh.csv");
 
   const auto bmin_topo = bmin::make_bmin(128);
-  sweep(*bmin_topo, nullptr, McastAlgorithm::kOptMin, "128-node BMIN, OPT-min trees",
+  sweep(h, *bmin_topo, nullptr, McastAlgorithm::kOptMin, "128-node BMIN, OPT-min trees",
         "collectives_bmin.csv");
 
   std::cout << "\nExpectation: reduce tracks the multicast bound but may show "

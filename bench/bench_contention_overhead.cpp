@@ -5,16 +5,16 @@
 // second-order distance effects).  This bench decomposes, for every
 // algorithm on both networks, the simulated latency into the model lower
 // bound and the contention/overhead residue.
-#include "bench/common.hpp"
+#include "harness/harness.hpp"
 #include "bmin/bmin_topology.hpp"
 #include "mesh/mesh_topology.hpp"
 
 using namespace pcm;
-using namespace pcm::benchx;
+using namespace pcm::harness;
 
 namespace {
 
-void decompose(const sim::Topology& topo, const MeshShape* shape,
+void decompose(Harness& h, const sim::Topology& topo, const MeshShape* shape,
                const rt::MulticastRuntime& rtm, std::span<const McastAlgorithm> algs,
                const std::string& title, const std::string& csv) {
   const Bytes size = 4096;
@@ -23,7 +23,7 @@ void decompose(const sim::Topology& topo, const MeshShape* shape,
   analysis::Table t({"algorithm", "simulated", "model bound", "overhead", "overhead %",
                      "blocked cycles"});
   for (McastAlgorithm alg : algs) {
-    const Point p = run_point(topo, shape, rtm, alg, placements, size);
+    const Point p = h.run_point(topo, shape, rtm, alg, placements, size);
     const double over = p.latency.mean - p.model.mean;
     t.add_row({std::string(algorithm_name(alg)),
                analysis::Table::num(p.latency.mean, 0),
@@ -31,29 +31,30 @@ void decompose(const sim::Topology& topo, const MeshShape* shape,
                analysis::Table::num(100.0 * over / p.model.mean, 2),
                analysis::Table::num(p.mean_conflicts, 0)});
   }
-  t.print(title, csv);
+  h.report(t, title, csv);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Harness h("bench_contention_overhead", argc, argv);
   rt::RuntimeConfig cfg;
   rt::MulticastRuntime rtm(cfg);
-  print_preamble("E6: contention-overhead decomposition (32 nodes, 4 KB)", cfg, 4096,
+  h.preamble("E6: contention-overhead decomposition (32 nodes, 4 KB)", cfg, 4096,
                  kPaperReps);
 
   const auto mesh_topo = mesh::make_mesh2d(16);
   const McastAlgorithm mesh_algs[] = {McastAlgorithm::kUMesh, McastAlgorithm::kBinomial,
                                       McastAlgorithm::kOptTree, McastAlgorithm::kOptMesh,
                                       McastAlgorithm::kSequential};
-  decompose(*mesh_topo, &mesh_topo->shape(), rtm, mesh_algs,
+  decompose(h, *mesh_topo, &mesh_topo->shape(), rtm, mesh_algs,
             "16x16 mesh: latency vs model bound", "contention_mesh.csv");
 
   const auto bmin_topo = bmin::make_bmin(128);
   const McastAlgorithm bmin_algs[] = {McastAlgorithm::kUMin, McastAlgorithm::kBinomial,
                                       McastAlgorithm::kOptTree, McastAlgorithm::kOptMin,
                                       McastAlgorithm::kSequential};
-  decompose(*bmin_topo, nullptr, rtm, bmin_algs,
+  decompose(h, *bmin_topo, nullptr, rtm, bmin_algs,
             "128-node BMIN: latency vs model bound", "contention_bmin.csv");
 
   std::cout << "\nExpectation (paper): tuned algorithms (OPT-Mesh/OPT-Min, "

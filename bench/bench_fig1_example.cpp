@@ -11,12 +11,13 @@
 
 #include "analysis/contention.hpp"
 #include "analysis/viz.hpp"
-#include "bench/common.hpp"
+#include "harness/harness.hpp"
 #include "mesh/mesh_topology.hpp"
 
 using namespace pcm;
 
-int main() {
+int main(int argc, char** argv) {
+  harness::Harness h("bench_fig1_example", argc, argv);
   const TwoParam tp{20, 55};
   std::cout << "E1 / Figure 1: OPT-mesh worked example (6x6 mesh, 8 nodes, "
                "t_hold=20, t_end=55)\n";
@@ -27,7 +28,7 @@ int main() {
   for (int i = 1; i <= 8; ++i)
     dp.add_row({std::to_string(i), i >= 2 ? std::to_string(opt.j[i]) : "-",
                 std::to_string(opt.t[i])});
-  dp.print("OPT-tree dynamic program (Algorithm 2.1)");
+  h.report(dp, "OPT-tree dynamic program (Algorithm 2.1)");
 
   // A Figure-1-like placement: source and 7 destinations scattered over
   // the 6x6 mesh (the original coordinates are not machine-readable from
@@ -57,7 +58,7 @@ int main() {
              std::to_string(tree_depth(opt_tree)), cf(opt_tree)});
   t.add_row({"U-Mesh", std::to_string(model_latency(u_tree, tp)), "165",
              std::to_string(tree_depth(u_tree)), cf(u_tree)});
-  t.print("Figure 1 latencies (model, cycles)");
+  h.report(t, "Figure 1 latencies (model, cycles)");
 
   // Flit-level confirmation with a machine realizing t_hold=20, t_end=55
   // for a minimal (single-flit) message: t_send=20, t_recv=20,
@@ -81,7 +82,7 @@ int main() {
               std::to_string(r_opt.model_latency), std::to_string(r_opt.channel_conflicts)});
   st.add_row({"U-Mesh", std::to_string(r_u.latency), std::to_string(r_u.model_latency),
               std::to_string(r_u.channel_conflicts)});
-  st.print("Flit-level run of the same trees (cycles)");
+  h.report(st, "Flit-level run of the same trees (cycles)");
 
   std::cout << "\nExpectation (paper): OPT-mesh 130 vs U-mesh 165; both "
                "contention-free; simulated values track the model up to the "

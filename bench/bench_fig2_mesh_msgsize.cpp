@@ -1,31 +1,32 @@
 // E2 — Paper Figure 2: 32-node multicast latency vs message size on the
 // 16x16 wormhole mesh (XY routing, one-port), algorithms U-Mesh,
 // OPT-Tree, OPT-Mesh; 16 random placements per point.
-#include "bench/common.hpp"
+#include "harness/harness.hpp"
 #include "mesh/mesh_topology.hpp"
 
 using namespace pcm;
-using namespace pcm::benchx;
+using namespace pcm::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  Harness h("bench_fig2_mesh_msgsize", argc, argv);
   const auto topo = mesh::make_mesh2d(16);
   const MeshShape* shape = &topo->shape();
   rt::RuntimeConfig cfg;  // Paragon-class defaults (MachineParams::classic)
   rt::MulticastRuntime rtm(cfg);
 
-  print_preamble("E2 / Figure 2: 32-node multicast on 16x16 mesh, latency vs "
-                 "message size",
-                 cfg, 4096, kPaperReps);
+  h.preamble("E2 / Figure 2: 32-node multicast on 16x16 mesh, latency vs "
+             "message size",
+             cfg, 4096, kPaperReps);
 
   analysis::Table t({"size", "U-Mesh", "OPT-Tree", "OPT-Mesh", "OPT-Tree confl",
                      "U/OPT-Mesh", "OPT-Mesh/model"});
   for (Bytes size = 0; size <= 65536; size += 8192) {
     const auto placements = analysis::sample_placements(kSeed, 256, 32, kPaperReps);
-    const Point u = run_point(*topo, shape, rtm, McastAlgorithm::kUMesh, placements, size);
+    const Point u = h.run_point(*topo, shape, rtm, McastAlgorithm::kUMesh, placements, size);
     const Point ot =
-        run_point(*topo, shape, rtm, McastAlgorithm::kOptTree, placements, size);
+        h.run_point(*topo, shape, rtm, McastAlgorithm::kOptTree, placements, size);
     const Point om =
-        run_point(*topo, shape, rtm, McastAlgorithm::kOptMesh, placements, size);
+        h.run_point(*topo, shape, rtm, McastAlgorithm::kOptMesh, placements, size);
     t.add_row({size_label(size), analysis::Table::num(u.latency.mean, 0),
                analysis::Table::num(ot.latency.mean, 0),
                analysis::Table::num(om.latency.mean, 0),
@@ -33,7 +34,7 @@ int main() {
                analysis::Table::num(u.latency.mean / om.latency.mean, 2),
                analysis::Table::num(om.latency.mean / om.model.mean, 3)});
   }
-  t.print("Figure 2 (multicast latency, cycles)", "fig2_mesh_msgsize.csv");
+  h.report(t, "Figure 2 (multicast latency, cycles)", "fig2_mesh_msgsize.csv");
 
   std::cout << "\nExpectation (paper): OPT-Mesh best at every size, U-Mesh "
                "worst; OPT-Tree between them (same tree shape as OPT-Mesh "

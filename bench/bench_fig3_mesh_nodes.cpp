@@ -1,19 +1,20 @@
 // E3 — Paper Figure 3: 4-Kbyte multicast latency vs number of multicast
 // nodes on the 16x16 wormhole mesh; U-Mesh vs OPT-Tree vs OPT-Mesh.
-#include "bench/common.hpp"
+#include "harness/harness.hpp"
 #include "mesh/mesh_topology.hpp"
 
 using namespace pcm;
-using namespace pcm::benchx;
+using namespace pcm::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  Harness h("bench_fig3_mesh_nodes", argc, argv);
   const auto topo = mesh::make_mesh2d(16);
   const MeshShape* shape = &topo->shape();
   rt::RuntimeConfig cfg;
   rt::MulticastRuntime rtm(cfg);
   const Bytes size = 4096;
 
-  print_preamble("E3 / Figure 3: 4 KB multicast on 16x16 mesh, latency vs "
+  h.preamble("E3 / Figure 3: 4 KB multicast on 16x16 mesh, latency vs "
                  "number of nodes",
                  cfg, size, kPaperReps);
 
@@ -21,11 +22,11 @@ int main() {
                      "U/OPT-Mesh", "depth U", "depth OPT"});
   for (int k : {4, 8, 16, 32, 64, 96, 128, 192, 256}) {
     const auto placements = analysis::sample_placements(kSeed + k, 256, k, kPaperReps);
-    const Point u = run_point(*topo, shape, rtm, McastAlgorithm::kUMesh, placements, size);
+    const Point u = h.run_point(*topo, shape, rtm, McastAlgorithm::kUMesh, placements, size);
     const Point ot =
-        run_point(*topo, shape, rtm, McastAlgorithm::kOptTree, placements, size);
+        h.run_point(*topo, shape, rtm, McastAlgorithm::kOptTree, placements, size);
     const Point om =
-        run_point(*topo, shape, rtm, McastAlgorithm::kOptMesh, placements, size);
+        h.run_point(*topo, shape, rtm, McastAlgorithm::kOptMesh, placements, size);
     // Depths are placement-independent (shape functions of k).
     const TwoParam tp = cfg.machine.two_param(rtm.wire_bytes(size, 1));
     const MulticastTree ut =
@@ -41,7 +42,7 @@ int main() {
                analysis::Table::num(u.latency.mean / om.latency.mean, 2),
                std::to_string(tree_depth(ut)), std::to_string(tree_depth(omt))});
   }
-  t.print("Figure 3 (multicast latency, cycles)", "fig3_mesh_nodes.csv");
+  h.report(t, "Figure 3 (multicast latency, cycles)", "fig3_mesh_nodes.csv");
 
   std::cout << "\nExpectation (paper): U-Mesh's depth (ceil log2 k) grows "
                "faster than the OPT trees' effective depth, so its curve "

@@ -4,20 +4,21 @@
 // (U-cube of McKinley et al.); a hypercube is a mesh whose every side is
 // 2, so the mesh machinery models it directly.  "OPT-Cube" below is the
 // OPT split table over the dimension-ordered (== binary) chain.
-#include "bench/common.hpp"
+#include "harness/harness.hpp"
 #include "mesh/mesh_topology.hpp"
 
 using namespace pcm;
-using namespace pcm::benchx;
+using namespace pcm::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  Harness h("bench_hypercube", argc, argv);
   mesh::MeshTopology topo{MeshShape::hypercube(7)};
   const MeshShape* shape = &topo.shape();
   rt::RuntimeConfig cfg;
   rt::MulticastRuntime rtm(cfg);
   const Bytes size = 4096;
 
-  print_preamble("E8: 4 KB multicast on a 128-node hypercube (e-cube routing)",
+  h.preamble("E8: 4 KB multicast on a 128-node hypercube (e-cube routing)",
                  cfg, size, kPaperReps);
 
   analysis::Table t({"nodes", "U-Cube", "OPT-Tree", "OPT-Cube", "OPT-Tree confl",
@@ -25,11 +26,11 @@ int main() {
   for (int k : {8, 16, 32, 64, 128}) {
     const auto placements = analysis::sample_placements(kSeed + k, 128, k, kPaperReps);
     // kUMesh/kOptMesh over the hypercube shape are exactly U-cube/OPT-cube.
-    const Point u = run_point(topo, shape, rtm, McastAlgorithm::kUMesh, placements, size);
+    const Point u = h.run_point(topo, shape, rtm, McastAlgorithm::kUMesh, placements, size);
     const Point ot =
-        run_point(topo, shape, rtm, McastAlgorithm::kOptTree, placements, size);
+        h.run_point(topo, shape, rtm, McastAlgorithm::kOptTree, placements, size);
     const Point oc =
-        run_point(topo, shape, rtm, McastAlgorithm::kOptMesh, placements, size);
+        h.run_point(topo, shape, rtm, McastAlgorithm::kOptMesh, placements, size);
     t.add_row({std::to_string(k), analysis::Table::num(u.latency.mean, 0),
                analysis::Table::num(ot.latency.mean, 0),
                analysis::Table::num(oc.latency.mean, 0),
@@ -37,7 +38,7 @@ int main() {
                analysis::Table::num(oc.mean_conflicts, 0),
                analysis::Table::num(u.latency.mean / oc.latency.mean, 2)});
   }
-  t.print("Hypercube, 4 KB latency vs nodes (cycles)", "hypercube.csv");
+  h.report(t, "Hypercube, 4 KB latency vs nodes (cycles)", "hypercube.csv");
 
   std::cout << "\nExpectation: same structure as the mesh results — the "
                "tuned OPT-Cube is contention-free and fastest; U-Cube pays "

@@ -5,13 +5,14 @@
 // tuned algorithms on the real 16x16 mesh simulator.  As hold_gap grows,
 // t_hold/t_end -> 1 and U-Mesh converges to OPT-Mesh — the paper's
 // explanation of when binomial trees are good enough.
-#include "bench/common.hpp"
+#include "harness/harness.hpp"
 #include "mesh/mesh_topology.hpp"
 
 using namespace pcm;
-using namespace pcm::benchx;
+using namespace pcm::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  Harness h("bench_machine_sweep", argc, argv);
   const auto topo = mesh::make_mesh2d(16);
   const MeshShape* shape = &topo->shape();
   const Bytes size = 4096;
@@ -29,9 +30,9 @@ int main() {
     // Cap t_hold at t_end (the model's validity domain).
     if (tp.t_hold > tp.t_end) break;
     const auto placements = analysis::sample_placements(kSeed, 256, 32, kPaperReps);
-    const Point u = run_point(*topo, shape, rtm, McastAlgorithm::kUMesh, placements, size);
+    const Point u = h.run_point(*topo, shape, rtm, McastAlgorithm::kUMesh, placements, size);
     const Point om =
-        run_point(*topo, shape, rtm, McastAlgorithm::kOptMesh, placements, size);
+        h.run_point(*topo, shape, rtm, McastAlgorithm::kOptMesh, placements, size);
     const MulticastTree tree = build_multicast(
         McastAlgorithm::kOptMesh, placements[0].source, placements[0].dests, tp, shape);
     t.add_row({std::to_string(gap),
@@ -42,7 +43,7 @@ int main() {
                analysis::Table::num(u.latency.mean / om.latency.mean, 2),
                std::to_string(tree_depth(tree))});
   }
-  t.print("Machine sweep (latency, cycles)", "machine_sweep.csv");
+  h.report(t, "Machine sweep (latency, cycles)", "machine_sweep.csv");
 
   std::cout << "\nExpectation: U/OPT shrinks toward 1.0 as t_hold/t_end "
                "approaches 1 (binomial trees are optimal exactly there), and "

@@ -1,37 +1,38 @@
 // E4 — Section 5 text: "We also performed the same experiment using
 // 128-node multicast trees.  The results are quite similar to the first
 // experiment."  Regenerates the Figure-2 sweep with k = 128.
-#include "bench/common.hpp"
+#include "harness/harness.hpp"
 #include "mesh/mesh_topology.hpp"
 
 using namespace pcm;
-using namespace pcm::benchx;
+using namespace pcm::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  Harness h("bench_mesh_128node", argc, argv);
   const auto topo = mesh::make_mesh2d(16);
   const MeshShape* shape = &topo->shape();
   rt::RuntimeConfig cfg;
   rt::MulticastRuntime rtm(cfg);
 
-  print_preamble("E4: 128-node multicast on 16x16 mesh, latency vs message size",
+  h.preamble("E4: 128-node multicast on 16x16 mesh, latency vs message size",
                  cfg, 4096, kPaperReps);
 
   analysis::Table t({"size", "U-Mesh", "OPT-Tree", "OPT-Mesh", "OPT-Tree confl",
                      "U/OPT-Mesh"});
   for (Bytes size = 0; size <= 65536; size += 16384) {
     const auto placements = analysis::sample_placements(kSeed, 256, 128, kPaperReps);
-    const Point u = run_point(*topo, shape, rtm, McastAlgorithm::kUMesh, placements, size);
+    const Point u = h.run_point(*topo, shape, rtm, McastAlgorithm::kUMesh, placements, size);
     const Point ot =
-        run_point(*topo, shape, rtm, McastAlgorithm::kOptTree, placements, size);
+        h.run_point(*topo, shape, rtm, McastAlgorithm::kOptTree, placements, size);
     const Point om =
-        run_point(*topo, shape, rtm, McastAlgorithm::kOptMesh, placements, size);
+        h.run_point(*topo, shape, rtm, McastAlgorithm::kOptMesh, placements, size);
     t.add_row({size_label(size), analysis::Table::num(u.latency.mean, 0),
                analysis::Table::num(ot.latency.mean, 0),
                analysis::Table::num(om.latency.mean, 0),
                analysis::Table::num(ot.mean_conflicts, 0),
                analysis::Table::num(u.latency.mean / om.latency.mean, 2)});
   }
-  t.print("128-node trees on 16x16 mesh (latency, cycles)", "mesh_128node.csv");
+  h.report(t, "128-node trees on 16x16 mesh (latency, cycles)", "mesh_128node.csv");
 
   std::cout << "\nExpectation (paper): same ordering as Figure 2 — OPT-Mesh < "
                "OPT-Tree < U-Mesh — with larger absolute latencies and more "

@@ -95,6 +95,34 @@ void BM_SimulatorMulticast(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorMulticast)->Unit(benchmark::kMillisecond);
 
+void BM_SimulatorSaturatedMesh(benchmark::State& state) {
+  // Raw engine throughput under load: every node of the 16x16 mesh posts
+  // a 64-flit unicast to the diagonally opposite node, all ready at cycle
+  // 0, so routers stay busy and arbitration contends heavily.  No runtime
+  // layer — this isolates the simulator hot path and reports flit-channel
+  // traversals per wall second.
+  const auto topo = mesh::make_mesh2d(16);
+  const int n = topo->num_nodes();
+  long long hops = 0;
+  for (auto _ : state) {
+    sim::Simulator sim(*topo);
+    for (NodeId s = 0; s < n; ++s) {
+      sim::Message m;
+      m.src = s;
+      m.dst = (n - 1) - s;
+      m.flits = 64;
+      m.ready_time = 0;
+      sim.post(m);
+    }
+    sim.run_until_idle();
+    benchmark::DoNotOptimize(sim.stats().cycles);
+    hops += sim.stats().flit_hops;
+  }
+  state.counters["flit_hops/s"] = benchmark::Counter(
+      static_cast<double>(hops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorSaturatedMesh)->Unit(benchmark::kMillisecond);
+
 void BM_SimulatorContendedMulticast(benchmark::State& state) {
   const auto topo = mesh::make_mesh2d(16);
   rt::MulticastRuntime rtm(rt::RuntimeConfig{});

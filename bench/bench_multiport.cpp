@@ -4,13 +4,14 @@
 // bottleneck relaxes.  Star-shaped trees gain the most (they are
 // injection-bound); the OPT tree — built for the one-port model — gains
 // less, showing where a p-port-aware DP would be the next step.
-#include "bench/common.hpp"
+#include "harness/harness.hpp"
 #include "mesh/mesh_topology.hpp"
 
 using namespace pcm;
-using namespace pcm::benchx;
+using namespace pcm::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  Harness h("bench_multiport", argc, argv);
   const Bytes size = 4096;
   const int k = 32;
 
@@ -26,17 +27,17 @@ int main() {
     rt::MulticastRuntime rtm(cfg);
     const auto placements = analysis::sample_placements(kSeed, 256, k, kPaperReps);
     const Point seq =
-        run_point(topo, &topo.shape(), rtm, McastAlgorithm::kSequential, placements, size);
+        h.run_point(topo, &topo.shape(), rtm, McastAlgorithm::kSequential, placements, size);
     const Point u =
-        run_point(topo, &topo.shape(), rtm, McastAlgorithm::kUMesh, placements, size);
+        h.run_point(topo, &topo.shape(), rtm, McastAlgorithm::kUMesh, placements, size);
     const Point om =
-        run_point(topo, &topo.shape(), rtm, McastAlgorithm::kOptMesh, placements, size);
+        h.run_point(topo, &topo.shape(), rtm, McastAlgorithm::kOptMesh, placements, size);
     t.add_row({std::to_string(ports), analysis::Table::num(seq.latency.mean, 0),
                analysis::Table::num(u.latency.mean, 0),
                analysis::Table::num(om.latency.mean, 0),
                analysis::Table::num(om.mean_conflicts, 0)});
   }
-  t.print("p-port ablation (latency, cycles)", "multiport.csv");
+  h.report(t, "p-port ablation (latency, cycles)", "multiport.csv");
 
   std::cout << "\nExpectation: Sequential gains the most (injection-bound). "
                "OPT-Mesh can even degrade slightly: simultaneous sends from "

@@ -5,12 +5,13 @@
 // sequential tree wins as t_hold/t_end -> 0.  This bench sweeps the
 // ratio and reports the model latencies of the three split rules plus
 // the OPT tree's advantage, locating both crossovers.
-#include "bench/common.hpp"
+#include "harness/harness.hpp"
 
 using namespace pcm;
-using namespace pcm::benchx;
+using namespace pcm::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  Harness h("bench_ratio_ablation", argc, argv);
   const Time t_end = 1000;
   std::cout << "E7: OPT vs binomial vs sequential trees across t_hold/t_end "
                "(model latencies, t_end = "
@@ -37,7 +38,7 @@ int main() {
                      1),
                  std::to_string(tree_depth(ot)), std::to_string(max_fanout(ot))});
     }
-    t.print("k = " + std::to_string(k),
+    h.report(t, "k = " + std::to_string(k),
             "ratio_ablation_k" + std::to_string(k) + ".csv");
   }
 

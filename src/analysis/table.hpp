@@ -26,6 +26,12 @@ class Table {
   /// beside it and notes the path).
   void print(const std::string& title, const std::string& csv_path = "") const;
 
+  /// Raw cell access for machine-readable exports (harness JSON reports).
+  [[nodiscard]] const std::vector<std::string>& headers() const { return headers_; }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -11,6 +11,7 @@
 #include "analysis/table.hpp"
 #include "analysis/timeline.hpp"
 #include "bmin/bmin_topology.hpp"
+#include "harness/harness.hpp"
 #include "butterfly/butterfly_topology.hpp"
 #include "mesh/mesh_topology.hpp"
 #include "runtime/collectives.hpp"
@@ -78,6 +79,12 @@ CliOptions parse_args(std::span<const std::string_view> args) {
       opt.seed = static_cast<std::uint64_t>(parse_int(a, value()));
     } else if (a == "--csv") {
       opt.csv = std::string(value());
+    } else if (a == "--json") {
+      opt.json = std::string(value());
+    } else if (a == "--jobs" || a == "-j") {
+      opt.jobs = static_cast<int>(parse_int(a, value()));
+      if (opt.jobs < 0)
+        throw std::invalid_argument("pcmcast: --jobs must be >= 0 (0 = hardware)");
     } else if (a == "--probe") {
       opt.probe = true;
     } else if (a == "--compare") {
@@ -165,6 +172,10 @@ std::string usage() {
          "  --compare          run every algorithm applicable to the topology\n"
          "  --gantt            print a message timeline for the first rep\n"
          "  --csv PATH         also write per-rep results as CSV\n"
+         "  --json PATH        also write a machine-readable JSON report\n"
+         "  --jobs N           fan placements out over N threads\n"
+         "                     (0 = one per hardware thread, 1 = serial; default 0;\n"
+         "                     results are identical at any N)\n"
          "  --probe            measure (t_hold, t_end) on the network first\n"
          "  --help             this text\n";
 }
@@ -247,12 +258,20 @@ int run_cli(const CliOptions& opt, std::ostream& os) {
   analysis::Table summary({"algorithm", "mean", "ci95", "min", "max", "model",
                            "sim/model", "blocked"});
   analysis::Table rows({"algorithm", "rep", "latency", "model", "conflicts"});
+  harness::ThreadPool pool(opt.jobs);
   for (McastAlgorithm alg : algs) {
+    // Each placement gets its own Simulator and an indexed result slot;
+    // the summary below reads the slots in placement order, so the report
+    // is identical at any --jobs value.
+    std::vector<RunOutcome> outcomes(placements.size());
+    pool.parallel_for(placements.size(), [&](std::size_t i) {
+      sim::Simulator sim(*topo);
+      outcomes[i] = run_one(shape, coll, opt, alg, placements[i], sim);
+    });
     std::vector<double> lat, model;
     long long conflicts = 0;
-    for (size_t i = 0; i < placements.size(); ++i) {
-      sim::Simulator sim(*topo);
-      const RunOutcome r = run_one(shape, coll, opt, alg, placements[i], sim);
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      const RunOutcome& r = outcomes[i];
       lat.push_back(static_cast<double>(r.latency));
       model.push_back(static_cast<double>(r.model));
       conflicts += r.conflicts;
@@ -282,6 +301,14 @@ int run_cli(const CliOptions& opt, std::ostream& os) {
     if (!f) throw std::runtime_error("pcmcast: cannot open " + opt.csv);
     f << rows.to_csv();
     os << "csv:     " << opt.csv << "\n";
+  }
+
+  if (!opt.json.empty()) {
+    harness::JsonReport report("pcmcast", pool.jobs());
+    report.add_table("summary", opt.csv, summary);
+    report.add_table("per-rep", opt.csv, rows);
+    report.write(opt.json);
+    os << "json:    " << opt.json << "\n";
   }
   return 0;
 }

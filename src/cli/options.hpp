@@ -29,6 +29,8 @@ struct CliOptions {
   int reps = 16;                        ///< random placements per run
   std::uint64_t seed = 1997;
   std::string csv;                      ///< optional CSV output path
+  std::string json;                     ///< optional JSON report path
+  int jobs = 0;                         ///< worker threads; 0 = hardware
   bool probe = false;                   ///< measure (t_hold, t_end) first
   bool compare = false;                 ///< run every applicable algorithm
   bool gantt = false;                   ///< print a message Gantt for rep 0

@@ -1,0 +1,236 @@
+#include "harness/harness.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/model.hpp"
+
+namespace pcm::harness {
+
+Options parse_options(std::span<const char* const> args) {
+  Options opt;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string_view a = args[i];
+    auto value = [&]() -> std::string_view {
+      if (i + 1 >= args.size())
+        throw std::invalid_argument("missing value for " + std::string(a));
+      return args[++i];
+    };
+    if (a == "--help" || a == "-h") {
+      opt.help = true;
+    } else if (a == "--jobs" || a == "-j") {
+      const std::string_view v = value();
+      int jobs = 0;
+      const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), jobs);
+      if (ec != std::errc{} || ptr != v.data() + v.size() || jobs < 1)
+        throw std::invalid_argument("--jobs expects a positive integer, got '" +
+                                    std::string(v) + "'");
+      opt.jobs = jobs;
+    } else if (a == "--json") {
+      opt.json_path = std::string(value());
+      if (opt.json_path.empty())
+        throw std::invalid_argument("--json expects a file path");
+    } else {
+      throw std::invalid_argument("unknown option '" + std::string(a) +
+                                  "' (try --help)");
+    }
+  }
+  return opt;
+}
+
+std::string bench_usage(const std::string& bench_name) {
+  return bench_name +
+         " — IPPS'97 multicast experiment (see EXPERIMENTS.md)\n\n"
+         "usage: " +
+         bench_name +
+         " [options]\n"
+         "  --jobs N     worker threads for the placement sweep\n"
+         "               (default: one per hardware thread; 1 = serial;\n"
+         "               results are bit-identical at any job count)\n"
+         "  --json FILE  also write tables + wall-clock as JSON\n"
+         "  --help       this text\n";
+}
+
+// --- JsonReport ---------------------------------------------------------
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_string_array(std::string& out, const std::vector<std::string>& xs) {
+  out += '[';
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i != 0) out += ',';
+    append_escaped(out, xs[i]);
+  }
+  out += ']';
+}
+
+}  // namespace
+
+void JsonReport::add_table(const std::string& title, const std::string& csv_path,
+                           const analysis::Table& table) {
+  entries_.push_back(Entry{title, csv_path, table.headers(), table.rows()});
+}
+
+std::string JsonReport::to_json() const {
+  std::string out;
+  out += "{\n  \"bench\": ";
+  append_escaped(out, name_);
+  out += ",\n  \"jobs\": " + std::to_string(jobs_);
+  {
+    std::ostringstream ws;
+    ws << wall_seconds_;
+    out += ",\n  \"wall_seconds\": " + ws.str();
+  }
+  out += ",\n  \"tables\": [";
+  for (std::size_t t = 0; t < entries_.size(); ++t) {
+    const Entry& e = entries_[t];
+    out += t == 0 ? "\n" : ",\n";
+    out += "    {\"title\": ";
+    append_escaped(out, e.title);
+    if (!e.csv_path.empty()) {
+      out += ", \"csv\": ";
+      append_escaped(out, e.csv_path);
+    }
+    out += ",\n     \"headers\": ";
+    append_string_array(out, e.headers);
+    out += ",\n     \"rows\": [";
+    for (std::size_t r = 0; r < e.rows.size(); ++r) {
+      if (r != 0) out += ',';
+      out += "\n       ";
+      append_string_array(out, e.rows[r]);
+    }
+    out += "]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+void JsonReport::write(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+  f << to_json();
+}
+
+// --- Harness ------------------------------------------------------------
+
+Harness::Harness(std::string bench_name, const Options& opt)
+    : bench_name_(std::move(bench_name)),
+      opt_(opt),
+      pool_(opt.jobs),
+      json_(bench_name_, pool_.jobs()),
+      start_(std::chrono::steady_clock::now()) {}
+
+namespace {
+
+Options parse_or_exit(const std::string& bench_name, int argc, char** argv) {
+  try {
+    const Options opt =
+        parse_options(std::span<const char* const>(argv + 1, argv + argc));
+    if (opt.help) {
+      std::cout << bench_usage(bench_name);
+      std::exit(0);
+    }
+    if (!opt.json_path.empty()) {
+      // Fail fast: the report is written at exit, far too late to tell
+      // the user their path is bad.
+      std::ofstream probe(opt.json_path, std::ios::app);
+      if (!probe)
+        throw std::runtime_error("cannot open " + opt.json_path + " for writing");
+    }
+    return opt;
+  } catch (const std::exception& e) {
+    std::cerr << bench_name << ": " << e.what() << "\n";
+    std::exit(2);
+  }
+}
+
+}  // namespace
+
+Harness::Harness(std::string bench_name, int argc, char** argv)
+    : Harness(bench_name, parse_or_exit(bench_name, argc, argv)) {}
+
+Harness::~Harness() {
+  if (opt_.json_path.empty()) return;
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start_;
+  json_.set_wall_seconds(wall.count());
+  try {
+    json_.write(opt_.json_path);
+    std::cout << "json:    " << opt_.json_path << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << bench_name_ << ": " << e.what() << "\n";
+  }
+}
+
+Point Harness::run_point(const sim::Topology& topo, const MeshShape* shape,
+                         const rt::MulticastRuntime& rtm, McastAlgorithm alg,
+                         std::span<const analysis::Placement> placements,
+                         Bytes payload) {
+  const std::size_t n = placements.size();
+  std::vector<double> lat(n), model(n), conflicts(n);
+  pool_.parallel_for(n, [&](std::size_t i) {
+    sim::Simulator sim(topo);
+    const rt::McastResult res = rtm.run_algorithm(
+        sim, alg, placements[i].source, placements[i].dests, payload, shape);
+    lat[i] = static_cast<double>(res.latency);
+    model[i] = static_cast<double>(res.model_latency);
+    conflicts[i] = static_cast<double>(res.channel_conflicts);
+  });
+  Point pt;
+  pt.latency = analysis::summarize(lat);
+  pt.model = analysis::summarize(model);
+  // Summed in placement order so the value is independent of the job
+  // count (floating-point addition is not associative).
+  double total = 0;
+  for (const double c : conflicts) total += c;
+  pt.mean_conflicts = n > 0 ? total / static_cast<double>(n) : 0;
+  return pt;
+}
+
+void Harness::preamble(const std::string& what, const rt::RuntimeConfig& cfg,
+                       Bytes ref_bytes, int reps) const {
+  std::cout << what << "\n"
+            << "machine: " << describe(cfg.machine, ref_bytes) << "\n"
+            << "reps/point: " << reps << " random placements (seed " << kSeed
+            << "), wormhole flit-level simulation\n"
+            << "jobs:    " << jobs() << "\n";
+}
+
+void Harness::report(const analysis::Table& t, const std::string& title,
+                     const std::string& csv_path) {
+  t.print(title, csv_path);
+  json_.add_table(title, csv_path, t);
+}
+
+std::string size_label(Bytes b) {
+  if (b % 1024 == 0) return std::to_string(b / 1024) + "k";
+  return std::to_string(b);
+}
+
+}  // namespace pcm::harness

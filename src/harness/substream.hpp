@@ -1,0 +1,29 @@
+// RNG substream splitting for parallel replications (ns-3 style): every
+// replication r of a root-seeded experiment draws from its own stream
+// seed, so the set of streams is identical whether replications run
+// serially or scattered across a thread pool.
+#pragma once
+
+#include <cstdint>
+
+namespace pcm::harness {
+
+/// splitmix64 finalizer — a bijection on 64-bit values.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stream seed for substream `stream` of root seed `root`.
+///
+/// For a fixed root this is `stream -> mix64(mix64(stream + c) ^ k)` — a
+/// composition of bijections — so distinct substream indices can never
+/// collide (see HarnessTest.SubstreamSeedsNeverCollide).  Mixing the root
+/// through mix64 first decorrelates nearby roots (1997 vs 1998) as well.
+constexpr std::uint64_t substream_seed(std::uint64_t root, std::uint64_t stream) {
+  return mix64(mix64(stream + 0x9e3779b97f4a7c15ULL) ^
+               mix64(root ^ 0x94d049bb133111ebULL));
+}
+
+}  // namespace pcm::harness

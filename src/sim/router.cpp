@@ -15,6 +15,8 @@ void Router::reserve(int in_port, int out_port) {
   in_assigned_[in_port] = out_port;
   out_holder_[out_port] = in_port;
   ++activity_;
+  ++held_;
+  --pending_;  // the input's front head is now assigned
 }
 
 void Router::release(int in_port, int out_port) {
@@ -23,6 +25,22 @@ void Router::release(int in_port, int out_port) {
   in_assigned_[in_port] = -1;
   out_holder_[out_port] = -1;
   --activity_;
+  --held_;
+  // Anything still buffered on the freed input is the next message's head
+  // (wormhole invariant), so the input re-enters the arbitration set.
+  if (!in_[in_port].empty()) ++pending_;
+}
+
+void Router::accept(int port, const Flit& f, Time now) {
+  FlitFifo& fifo = in_[port];
+  if (fifo.empty() && in_assigned_[port] == -1) ++pending_;
+  fifo.push(f, now);
+  ++activity_;
+}
+
+Flit Router::take(int port, Time now) {
+  --activity_;
+  return in_[port].pop(now);
 }
 
 }  // namespace pcm::sim

@@ -11,6 +11,15 @@
 //
 // Arbitration is rotating-priority over inputs, which is starvation-free
 // for the bounded traffic the multicast runtime generates.
+//
+// Besides the channel state the router maintains three counters the
+// simulator's worklists key on:
+//   * activity():  buffered flits + held outputs (zero == fully drained);
+//   * pending():   unassigned inputs with a flit at the front — by the
+//                  wormhole invariant that flit is always a head, so this
+//                  counts exactly the inputs arbitration could serve;
+//   * held():      outputs currently reserved, i.e. the switch traversals
+//                  transfer could perform.
 #pragma once
 
 #include <vector>
@@ -37,15 +46,25 @@ class Router {
   void reserve(int in_port, int out_port);
   void release(int in_port, int out_port);
 
+  /// Buffers an arriving flit on `port` (injection or upstream transfer).
+  void accept(int port, const Flit& f, Time now);
+  /// Removes and returns the front flit of `port`; the port must be
+  /// assigned (wormhole flits only advance along reserved paths).
+  Flit take(int port, Time now);
+
   /// Rotating arbitration start index; call bump() after each cycle that
   /// performed arbitration so priority rotates.
   [[nodiscard]] int rr_start() const { return rr_start_; }
   void bump() { rr_start_ = (rr_start_ + 1) % radix(); }
 
   /// Number of flits buffered across all inputs plus held outputs; the
-  /// simulator skips routers whose activity is zero.
+  /// simulator drops routers whose activity reaches zero from its
+  /// worklist.
   [[nodiscard]] int activity() const { return activity_; }
-  void add_activity(int d) { activity_ += d; }
+  /// Unassigned inputs with a (head) flit at the front.
+  [[nodiscard]] int pending() const { return pending_; }
+  /// Reserved output channels.
+  [[nodiscard]] int held() const { return held_; }
 
  private:
   std::vector<FlitFifo> in_;
@@ -53,6 +72,8 @@ class Router {
   std::vector<int> out_holder_;
   int rr_start_ = 0;
   int activity_ = 0;
+  int pending_ = 0;
+  int held_ = 0;
 };
 
 }  // namespace pcm::sim

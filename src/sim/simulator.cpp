@@ -1,23 +1,61 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <sstream>
 #include <stdexcept>
 
 namespace pcm::sim {
 
+namespace {
+
+std::string err_at(const char* what, Time cycle, MsgId msg) {
+  std::string s(what);
+  s += " (cycle ";
+  s += std::to_string(cycle);
+  s += ", msg ";
+  s += std::to_string(msg);
+  s += ")";
+  return s;
+}
+
+}  // namespace
+
 Simulator::Simulator(const Topology& topo, SimConfig cfg)
-    : topo_(topo), cfg_(cfg) {
+    : topo_(topo), cfg_(cfg), radix_(topo.radix()) {
   if (cfg_.fifo_capacity < cfg_.router_delay + 1) {
     // A flit rests router_delay cycles in every buffer; keep enough slots
     // that residency does not throttle a fully pipelined channel.
     cfg_.fifo_capacity = static_cast<int>(cfg_.router_delay) + 1;
   }
-  routers_.reserve(topo.num_routers());
-  for (int r = 0; r < topo.num_routers(); ++r)
-    routers_.emplace_back(topo.radix(), cfg_.fifo_capacity);
+  const int num_routers = topo.num_routers();
+  routers_.reserve(num_routers);
+  for (int r = 0; r < num_routers; ++r)
+    routers_.emplace_back(radix_, cfg_.fifo_capacity);
   nics_.resize(topo.num_nodes());
   for (Nic& nic : nics_) nic.engines.resize(topo.ports_per_node());
+
+  // Snapshot the wiring: the topology is immutable for the simulator's
+  // lifetime, so every per-flit virtual lookup can be a table load.
+  const int channels = num_routers * radix_;
+  link_cache_.resize(channels);
+  eject_cache_.resize(channels);
+  route_memo_.resize(channels);
+  for (int r = 0; r < num_routers; ++r) {
+    for (int q = 0; q < radix_; ++q) {
+      link_cache_[r * radix_ + q] = topo.link(r, q);
+      eject_cache_[r * radix_ + q] = topo.ejector(r, q);
+    }
+  }
+  const int ports = topo.ports_per_node();
+  attach_cache_.resize(static_cast<std::size_t>(topo.num_nodes()) * ports);
+  for (NodeId n = 0; n < topo.num_nodes(); ++n)
+    for (int p = 0; p < ports; ++p)
+      attach_cache_[static_cast<std::size_t>(n) * ports + p] =
+          topo.node_attach_port(n, p);
+
+  active_words_.resize((static_cast<std::size_t>(num_routers) + 63) / 64, 0);
+  nic_words_.resize((static_cast<std::size_t>(topo.num_nodes()) + 63) / 64, 0);
 }
 
 MsgId Simulator::post(Message m) {
@@ -54,7 +92,8 @@ Time Simulator::run_until_idle(Time max_cycles) {
     stalled = progress_ ? 0 : stalled + 1;
     if (stalled > cfg_.watchdog_cycles)
       throw std::runtime_error("Simulator watchdog: no progress for " +
-                               std::to_string(stalled) + " cycles\n" + stall_dump());
+                               std::to_string(stalled) + " cycles at cycle " +
+                               std::to_string(cycle_) + "\n" + stall_dump());
   }
   stats_.cycles = cycle_;
   return cycle_;
@@ -64,32 +103,44 @@ void Simulator::release_due_posts() {
   while (!posts_.empty() && posts_.top().ready <= cycle_) {
     const MsgId id = posts_.top().id;
     posts_.pop();
-    Nic& nic = nics_[messages_.at(id).src];
-    if (!nic.busy()) ++busy_nics_;
+    const NodeId src = messages_.at(id).src;
+    Nic& nic = nics_[src];
+    if (!nic.busy()) {
+      ++busy_nics_;
+      nic_words_[static_cast<std::size_t>(src) >> 6] |= 1ULL << (src & 63);
+    }
     nic.queue.push_back(id);
   }
 }
 
 void Simulator::arbitrate(int r) {
   Router& router = routers_[r];
-  const int radix = topo_.radix();
-  for (int i = 0; i < radix; ++i) {
-    const int p = (router.rr_start() + i) % radix;
+  for (int i = 0; i < radix_; ++i) {
+    const int p = (router.rr_start() + i) % radix_;
     if (router.assigned_out(p) != -1) continue;
     const FlitFifo& fifo = router.in(p);
     if (fifo.empty()) continue;
     const Flit& front = fifo.front();
     if (!front.head)
-      throw std::logic_error("wormhole invariant violated: unassigned body flit at front");
+      throw std::logic_error(err_at(
+          "wormhole invariant violated: unassigned body flit at front", cycle_,
+          front.msg));
     if (cycle_ - fifo.front_entry() < cfg_.router_delay) continue;
     Message& msg = messages_.at(front.msg);
-    route_scratch_.clear();
-    topo_.route(r, p, msg.src, msg.dst, route_scratch_);
-    if (route_scratch_.empty())
-      throw std::logic_error("routing returned no candidates at " +
-                             topo_.channel_name(r, p));
+    // Routing memo: recompute only when a new head reaches this input.
+    RouteMemo& memo = route_memo_[r * radix_ + p];
+    if (memo.msg != front.msg) {
+      memo.candidates.clear();
+      topo_.route(r, p, msg.src, msg.dst, memo.candidates);
+      memo.msg = front.msg;
+    }
+    if (memo.candidates.empty())
+      throw std::logic_error(
+          err_at(("routing returned no candidates at " + topo_.channel_name(r, p))
+                     .c_str(),
+                 cycle_, front.msg));
     bool granted = false;
-    for (int q : route_scratch_) {
+    for (int q : memo.candidates) {
       if (router.out_holder(q) == -1) {
         router.reserve(p, q);
         if (observer_ != nullptr) observer_->on_reserve(r, q, front.msg, cycle_);
@@ -111,16 +162,16 @@ void Simulator::arbitrate(int r) {
 
 void Simulator::transfer(int r) {
   Router& router = routers_[r];
-  for (int q = 0; q < topo_.radix(); ++q) {
+  const int base = r * radix_;
+  for (int q = 0; q < radix_; ++q) {
     const int p = router.out_holder(q);
     if (p == -1) continue;
     FlitFifo& fifo = router.in(p);
     if (fifo.empty()) continue;  // wormhole bubble: channel held, no flit yet
     if (cycle_ - fifo.front_entry() < cfg_.router_delay) continue;
-    const NodeId ej = topo_.ejector(r, q);
+    const NodeId ej = eject_cache_[base + q];
     if (ej != kInvalidNode) {
-      const Flit flit = fifo.pop(cycle_);
-      router.add_activity(-1);
+      const Flit flit = router.take(p, cycle_);
       --inflight_flits_;
       ++stats_.flit_hops;
       progress_ = true;
@@ -135,15 +186,17 @@ void Simulator::transfer(int r) {
       }
       continue;
     }
-    const PortRef d = topo_.link(r, q);
+    const PortRef d = link_cache_[base + q];
     if (!d.valid())
-      throw std::logic_error("message routed onto unwired channel " +
-                             topo_.channel_name(r, q));
-    if (!routers_[d.router].in(d.port).can_accept(cycle_)) continue;
-    const Flit flit = fifo.pop(cycle_);
-    router.add_activity(-1);
-    routers_[d.router].in(d.port).push(flit, cycle_);
-    routers_[d.router].add_activity(1);
+      throw std::logic_error(
+          err_at(("message routed onto unwired channel " + topo_.channel_name(r, q))
+                     .c_str(),
+                 cycle_, fifo.front().msg));
+    Router& down = routers_[d.router];
+    if (!down.in(d.port).can_accept(cycle_)) continue;
+    const Flit flit = router.take(p, cycle_);
+    down.accept(d.port, flit, cycle_);
+    mark_router_active(d.router);
     ++stats_.flit_hops;
     progress_ = true;
     if (flit.tail) {
@@ -155,7 +208,8 @@ void Simulator::transfer(int r) {
 
 void Simulator::inject(NodeId n) {
   Nic& nic = nics_[n];
-  for (size_t e = 0; e < nic.engines.size(); ++e) {
+  const std::size_t base = static_cast<std::size_t>(n) * nic.engines.size();
+  for (std::size_t e = 0; e < nic.engines.size(); ++e) {
     Nic::Engine& eng = nic.engines[e];
     if (eng.active == kInvalidMsg) {
       if (nic.queue.empty()) continue;
@@ -164,15 +218,16 @@ void Simulator::inject(NodeId n) {
       eng.flits_sent = 0;
     }
     Message& msg = messages_.at(eng.active);
-    const PortRef a = topo_.node_attach_port(n, static_cast<int>(e));
-    if (!routers_[a.router].in(a.port).can_accept(cycle_)) continue;
+    const PortRef a = attach_cache_[base + e];
+    Router& router = routers_[a.router];
+    if (!router.in(a.port).can_accept(cycle_)) continue;
     Flit flit;
     flit.msg = eng.active;
     flit.head = (eng.flits_sent == 0);
     flit.tail = (eng.flits_sent == msg.flits - 1);
     if (flit.head) msg.inject_start = cycle_;
-    routers_[a.router].in(a.port).push(flit, cycle_);
-    routers_[a.router].add_activity(1);
+    router.accept(a.port, flit, cycle_);
+    mark_router_active(a.router);
     ++inflight_flits_;
     stats_.max_inflight_flits = std::max(stats_.max_inflight_flits, inflight_flits_);
     ++eng.flits_sent;
@@ -182,25 +237,87 @@ void Simulator::inject(NodeId n) {
       eng.active = kInvalidMsg;
     }
   }
-  if (!nic.busy()) --busy_nics_;
+  if (!nic.busy()) {
+    --busy_nics_;
+    nic_words_[static_cast<std::size_t>(n) >> 6] &= ~(1ULL << (n & 63));
+  }
 }
 
 void Simulator::step() {
   release_due_posts();
-  for (int r = 0; r < topo_.num_routers(); ++r)
-    if (routers_[r].activity() > 0) arbitrate(r);
-  for (int r = 0; r < topo_.num_routers(); ++r)
-    if (routers_[r].activity() > 0) transfer(r);
-  for (NodeId n = 0; n < topo_.num_nodes(); ++n)
-    if (nics_[n].busy()) inject(n);
+
+  // Arbitration sweep: only routers on the active worklist, in ascending
+  // index order (identical to the full scan — reservations never activate
+  // other routers, so a per-word snapshot is exact).  Routers that drained
+  // since their last visit are dropped lazily, exactly when the full scan
+  // would have started skipping them.
+  const std::size_t rwords = active_words_.size();
+  for (std::size_t wi = 0; wi < rwords; ++wi) {
+    std::uint64_t w = active_words_[wi];
+    while (w != 0) {
+      const int bit = std::countr_zero(w);
+      w &= w - 1;
+      const int r = static_cast<int>((wi << 6) | static_cast<unsigned>(bit));
+      Router& router = routers_[r];
+      if (router.activity() == 0) {
+        clear_router_active(wi, bit);
+        continue;
+      }
+      // The rotating priority advances every active cycle whether or not
+      // any head is waiting (matching the full-scan behaviour); the port
+      // sweep itself only runs when an unassigned head exists.
+      if (router.pending() > 0) {
+        arbitrate(r);
+      } else {
+        router.bump();
+      }
+    }
+  }
+
+  // Transfer sweep: re-read each word so routers activated *forward* by a
+  // same-cycle push are still visited this cycle, as in the full scan
+  // (they cannot move their fresh flit when router_delay >= 1, but with
+  // router_delay == 0 the full scan forwards them immediately — keep
+  // that).  Routers activated *backward* wait for the next cycle, again
+  // as in the full scan.
+  for (std::size_t wi = 0; wi < rwords; ++wi) {
+    std::uint64_t done = 0;
+    while (true) {
+      const std::uint64_t w = active_words_[wi] & ~done;
+      if (w == 0) break;
+      const int bit = std::countr_zero(w);
+      done |= 1ULL << bit;
+      const int r = static_cast<int>((wi << 6) | static_cast<unsigned>(bit));
+      Router& router = routers_[r];
+      if (router.activity() == 0) {
+        clear_router_active(wi, bit);
+        continue;
+      }
+      if (router.held() > 0) transfer(r);
+    }
+  }
+
+  // Injection sweep over NIs with outstanding sends.
+  const std::size_t nwords = nic_words_.size();
+  for (std::size_t wi = 0; wi < nwords; ++wi) {
+    std::uint64_t w = nic_words_[wi];
+    while (w != 0) {
+      const int bit = std::countr_zero(w);
+      w &= w - 1;
+      inject(static_cast<NodeId>((wi << 6) | static_cast<unsigned>(bit)));
+    }
+  }
+
   ++cycle_;
   if (!delivered_now_.empty()) {
     // Deliveries fire after the cycle commits so handlers observe now() >
-    // delivery cycle and may immediately post follow-up messages.
-    std::vector<MsgId> batch;
-    batch.swap(delivered_now_);
+    // delivery cycle and may immediately post follow-up messages.  The
+    // batch buffer is swapped, not reallocated, so steady-state cycles do
+    // not allocate.
+    delivery_batch_.swap(delivered_now_);
     if (on_delivery_)
-      for (MsgId id : batch) on_delivery_(messages_.at(id));
+      for (MsgId id : delivery_batch_) on_delivery_(messages_.at(id));
+    delivery_batch_.clear();
   }
 }
 

@@ -17,8 +17,17 @@
 // the cycle is charged to Message::block_cycles and to
 // SimStats::channel_conflicts.  A schedule is contention-free on a run
 // exactly when channel_conflicts == 0.
+//
+// Fast path (see DESIGN.md §6): instead of rescanning every router and NI
+// each cycle, the engine keeps worklist bitmaps of routers with non-zero
+// activity and NIs with outstanding sends, caches the (immutable) channel
+// wiring, and memoizes each input port's routing candidates while the
+// same head flit waits there.  All of this is observationally equivalent
+// to the naive full scan: per-cycle event order, conflict counters, and
+// observer callbacks are bit-identical.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <queue>
@@ -50,6 +59,8 @@ class Simulator {
   /// Called when a message's tail flit is consumed; handlers may post().
   using DeliveryHandler = std::function<void(const Message&)>;
 
+  /// `topo` must outlive the simulator and must not change while any
+  /// simulator references it (the wiring is cached at construction).
   Simulator(const Topology& topo, SimConfig cfg = {});
 
   /// Registers a message for injection at m.ready_time (must be >= now()).
@@ -100,6 +111,18 @@ class Simulator {
     }
   };
 
+  /// Routing candidates cached while the same head flit waits at an input
+  /// port.  Topology::route is a pure function of (router, in_port, src,
+  /// dst), so the preference list cannot change while the head blocks;
+  /// only channel *availability* changes, and arbitration rechecks that
+  /// against live state every cycle.  Keyed by message id: a released
+  /// channel that reveals the next message's head misses the key and
+  /// recomputes.
+  struct RouteMemo {
+    MsgId msg = kInvalidMsg;
+    std::vector<int> candidates;
+  };
+
   void step();
   void release_due_posts();
   void arbitrate(int r);
@@ -108,17 +131,35 @@ class Simulator {
   [[nodiscard]] bool network_quiescent() const;
   [[nodiscard]] std::string stall_dump() const;
 
+  void mark_router_active(int r) {
+    active_words_[static_cast<std::size_t>(r) >> 6] |= 1ULL << (r & 63);
+  }
+  void clear_router_active(std::size_t word, int bit) {
+    active_words_[word] &= ~(1ULL << bit);
+  }
+
   const Topology& topo_;
   SimConfig cfg_;
+  int radix_ = 0;
   std::vector<Router> routers_;
   std::vector<Nic> nics_;
   MessageTable messages_;
   std::priority_queue<Post, std::vector<Post>, std::greater<>> posts_;
   long long post_seq_ = 0;
   std::vector<MsgId> delivered_now_;
-  std::vector<int> route_scratch_;
+  std::vector<MsgId> delivery_batch_;  ///< reused per-cycle delivery buffer
   DeliveryHandler on_delivery_;
   SimObserver* observer_ = nullptr;
+
+  // --- immutable wiring caches (avoid virtual topology calls per flit) ---
+  std::vector<PortRef> link_cache_;    ///< per channel id
+  std::vector<NodeId> eject_cache_;    ///< per channel id
+  std::vector<PortRef> attach_cache_;  ///< per node * ports_per_node + port
+  std::vector<RouteMemo> route_memo_;  ///< per input channel id
+
+  // --- worklists ---
+  std::vector<std::uint64_t> active_words_;  ///< routers with activity() > 0
+  std::vector<std::uint64_t> nic_words_;     ///< NIs with queued/active sends
 
   Time cycle_ = 0;
   int inflight_flits_ = 0;
