@@ -17,6 +17,7 @@
 #include "runtime/collectives.hpp"
 #include "runtime/mcast_runtime.hpp"
 #include "runtime/param_probe.hpp"
+#include "sim/fault.hpp"
 
 namespace pcm::cli {
 namespace {
@@ -59,7 +60,9 @@ CliOptions parse_args(std::span<const std::string_view> args) {
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string_view a = args[i];
     auto value = [&]() -> std::string_view {
-      if (i + 1 >= args.size())
+      // A following option is not a value: "--json --probe" is a missing
+      // path, not a file named "--probe".
+      if (i + 1 >= args.size() || args[i + 1].substr(0, 2) == "--")
         throw std::invalid_argument("pcmcast: missing value for " + std::string(a));
       return args[++i];
     };
@@ -83,8 +86,15 @@ CliOptions parse_args(std::span<const std::string_view> args) {
       opt.json = std::string(value());
     } else if (a == "--jobs" || a == "-j") {
       opt.jobs = static_cast<int>(parse_int(a, value()));
-      if (opt.jobs < 0)
-        throw std::invalid_argument("pcmcast: --jobs must be >= 0 (0 = hardware)");
+      if (opt.jobs < 0 || opt.jobs > 4096)
+        throw std::invalid_argument(
+            "pcmcast: --jobs must be in [0, 4096] (0 = hardware)");
+    } else if (a == "--faults") {
+      opt.faults = std::string(value());
+    } else if (a == "--max-retries") {
+      opt.max_retries = static_cast<int>(parse_int(a, value()));
+      if (opt.max_retries < 0 || opt.max_retries > 40)
+        throw std::invalid_argument("pcmcast: --max-retries must be in [0, 40]");
     } else if (a == "--probe") {
       opt.probe = true;
     } else if (a == "--compare") {
@@ -108,6 +118,17 @@ CliOptions parse_args(std::span<const std::string_view> args) {
         opt.collective != "barrier")
       throw std::invalid_argument("pcmcast: --collective must be multicast, reduce, "
                                   "or barrier");
+    if (!opt.faults.empty()) {
+      if (opt.collective != "multicast")
+        throw std::invalid_argument(
+            "pcmcast: --faults requires --collective multicast");
+      try {
+        (void)sim::FaultPlan::parse(opt.faults);
+      } catch (const std::exception& e) {
+        throw std::invalid_argument("pcmcast: bad --faults spec: " +
+                                    std::string(e.what()));
+      }
+    }
   }
   return opt;
 }
@@ -171,6 +192,12 @@ std::string usage() {
          "  --collective KIND  multicast | reduce | barrier (default multicast)\n"
          "  --compare          run every algorithm applicable to the topology\n"
          "  --gantt            print a message timeline for the first rep\n"
+         "  --faults SPEC      inject faults and run the fault-tolerant runtime;\n"
+         "                     clauses: link:R,P@C | linkup:R,P@C | node:N@C |\n"
+         "                     drop:RATE | corrupt:RATE | seed:S (';'-separated),\n"
+         "                     e.g. \"node:42@1500;drop:0.001\" (multicast only)\n"
+         "  --max-retries N    retransmissions before a receiver is declared dead\n"
+         "                     (default 3; only meaningful with --faults)\n"
          "  --csv PATH         also write per-rep results as CSV\n"
          "  --json PATH        also write a machine-readable JSON report\n"
          "  --jobs N           fan placements out over N threads\n"
@@ -186,16 +213,30 @@ struct RunOutcome {
   Time latency = 0;
   Time model = 0;
   long long conflicts = 0;
+  double delivered = 1.0;  ///< fraction of participants holding the payload
+  int retries = 0;
+  int repairs = 0;
+  int dead = 0;
 };
 
 RunOutcome run_one(const MeshShape* shape, const rt::CollectiveRuntime& coll,
                    const CliOptions& opt, McastAlgorithm alg,
-                   const analysis::Placement& p, sim::Simulator& sim) {
+                   const analysis::Placement& p, sim::Simulator& sim,
+                   const sim::FaultPlan* plan) {
   const rt::MulticastRuntime& rtm = coll.multicast();
   const TwoParam tp = rtm.config().machine.two_param(rtm.wire_bytes(opt.bytes, 1));
   const MulticastTree tree = build_multicast(alg, p.source, p.dests, tp, shape);
   RunOutcome out;
-  if (opt.collective == "multicast") {
+  if (plan != nullptr) {
+    sim.set_fault_plan(*plan);
+    rt::FtConfig ft;
+    ft.max_retries = opt.max_retries;
+    const rt::McastResult r = rtm.run_reliable(sim, tree, opt.bytes, ft, sim.now());
+    out = RunOutcome{r.latency,           r.model_latency,
+                     r.channel_conflicts, r.delivered_fraction,
+                     r.retries,           r.repairs,
+                     static_cast<int>(r.dead_nodes.size())};
+  } else if (opt.collective == "multicast") {
     const rt::McastResult r = rtm.run(sim, tree, opt.bytes, sim.now());
     out = RunOutcome{r.latency, r.model_latency, r.channel_conflicts};
   } else if (opt.collective == "reduce") {
@@ -245,6 +286,13 @@ int run_cli(const CliOptions& opt, std::ostream& os) {
      << opt.bytes << " B, " << opt.reps << " reps, seed " << opt.seed << "\n";
   os << "machine: " << describe(cfg.machine, opt.bytes) << "\n";
 
+  std::optional<sim::FaultPlan> plan;
+  if (!opt.faults.empty()) {
+    plan = sim::FaultPlan::parse(opt.faults);
+    os << "faults:  " << plan->describe() << " (max-retries " << opt.max_retries
+       << ")\n";
+  }
+
   if (opt.probe) {
     const rt::ProbeResult probe =
         rt::probe_parameters(*topo, cfg.machine, opt.bytes, 32, opt.seed);
@@ -255,43 +303,75 @@ int run_cli(const CliOptions& opt, std::ostream& os) {
 
   const auto placements =
       analysis::sample_placements(opt.seed, topo->num_nodes(), opt.nodes, opt.reps);
-  analysis::Table summary({"algorithm", "mean", "ci95", "min", "max", "model",
-                           "sim/model", "blocked"});
-  analysis::Table rows({"algorithm", "rep", "latency", "model", "conflicts"});
+  const bool ft = plan.has_value();
+  std::vector<std::string> sum_cols = {"algorithm", "mean", "ci95",      "min",
+                                       "max",       "model", "sim/model", "blocked"};
+  std::vector<std::string> row_cols = {"algorithm", "rep", "latency", "model",
+                                       "conflicts"};
+  if (ft) {
+    for (const char* c : {"delivered", "retries", "repairs", "dead"}) {
+      sum_cols.emplace_back(c);
+      row_cols.emplace_back(c);
+    }
+  }
+  analysis::Table summary(sum_cols);
+  analysis::Table rows(row_cols);
   harness::ThreadPool pool(opt.jobs);
   for (McastAlgorithm alg : algs) {
     // Each placement gets its own Simulator and an indexed result slot;
     // the summary below reads the slots in placement order, so the report
-    // is identical at any --jobs value.
+    // is identical at any --jobs value (fault decisions are pure hashes
+    // of per-simulator state, so this holds with --faults too).
     std::vector<RunOutcome> outcomes(placements.size());
     pool.parallel_for(placements.size(), [&](std::size_t i) {
       sim::Simulator sim(*topo);
-      outcomes[i] = run_one(shape, coll, opt, alg, placements[i], sim);
+      outcomes[i] =
+          run_one(shape, coll, opt, alg, placements[i], sim, ft ? &*plan : nullptr);
     });
-    std::vector<double> lat, model;
-    long long conflicts = 0;
+    std::vector<double> lat, model, delivered;
+    long long conflicts = 0, retries = 0, repairs = 0, dead = 0;
     for (size_t i = 0; i < outcomes.size(); ++i) {
       const RunOutcome& r = outcomes[i];
       lat.push_back(static_cast<double>(r.latency));
       model.push_back(static_cast<double>(r.model));
+      delivered.push_back(r.delivered);
       conflicts += r.conflicts;
-      rows.add_row({std::string(algorithm_name(alg)), std::to_string(i),
-                    std::to_string(r.latency), std::to_string(r.model),
-                    std::to_string(r.conflicts)});
+      retries += r.retries;
+      repairs += r.repairs;
+      dead += r.dead;
+      std::vector<std::string> row = {std::string(algorithm_name(alg)),
+                                      std::to_string(i), std::to_string(r.latency),
+                                      std::to_string(r.model),
+                                      std::to_string(r.conflicts)};
+      if (ft) {
+        row.push_back(analysis::Table::num(r.delivered, 4));
+        row.push_back(std::to_string(r.retries));
+        row.push_back(std::to_string(r.repairs));
+        row.push_back(std::to_string(r.dead));
+      }
+      rows.add_row(std::move(row));
     }
     const analysis::Stats s = analysis::summarize(lat);
     const analysis::Stats ms = analysis::summarize(model);
-    summary.add_row({std::string(algorithm_name(alg)), analysis::Table::num(s.mean, 1),
-                     analysis::Table::num(s.ci95, 1), analysis::Table::num(s.min, 0),
-                     analysis::Table::num(s.max, 0), analysis::Table::num(ms.mean, 1),
-                     analysis::Table::num(s.mean / ms.mean, 3),
-                     std::to_string(conflicts)});
+    std::vector<std::string> srow = {
+        std::string(algorithm_name(alg)), analysis::Table::num(s.mean, 1),
+        analysis::Table::num(s.ci95, 1),  analysis::Table::num(s.min, 0),
+        analysis::Table::num(s.max, 0),   analysis::Table::num(ms.mean, 1),
+        analysis::Table::num(s.mean / ms.mean, 3), std::to_string(conflicts)};
+    if (ft) {
+      srow.push_back(analysis::Table::num(analysis::summarize(delivered).mean, 4));
+      srow.push_back(std::to_string(retries));
+      srow.push_back(std::to_string(repairs));
+      srow.push_back(std::to_string(dead));
+    }
+    summary.add_row(std::move(srow));
   }
   os << "\n" << summary.to_string();
 
   if (opt.gantt) {
     sim::Simulator sim(*topo);
-    (void)run_one(shape, coll, opt, algs.front(), placements.front(), sim);
+    (void)run_one(shape, coll, opt, algs.front(), placements.front(), sim,
+                  ft ? &*plan : nullptr);
     os << "\nmessage timeline (" << algorithm_name(algs.front()) << ", rep 0):\n"
        << analysis::timeline_gantt(analysis::message_timeline(sim.messages()));
   }

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "core/model.hpp"
+#include "sim/fault.hpp"
 
 namespace pcm::harness {
 
@@ -33,8 +34,15 @@ Options parse_options(std::span<const char* const> args) {
       opt.jobs = jobs;
     } else if (a == "--json") {
       opt.json_path = std::string(value());
-      if (opt.json_path.empty())
+      if (opt.json_path.empty() || opt.json_path.substr(0, 2) == "--")
         throw std::invalid_argument("--json expects a file path");
+    } else if (a == "--faults") {
+      opt.faults = std::string(value());
+      try {
+        (void)sim::FaultPlan::parse(opt.faults);
+      } catch (const std::exception& e) {
+        throw std::invalid_argument("bad --faults spec: " + std::string(e.what()));
+      }
     } else {
       throw std::invalid_argument("unknown option '" + std::string(a) +
                                   "' (try --help)");
@@ -53,6 +61,9 @@ std::string bench_usage(const std::string& bench_name) {
          "               (default: one per hardware thread; 1 = serial;\n"
          "               results are bit-identical at any job count)\n"
          "  --json FILE  also write tables + wall-clock as JSON\n"
+         "  --faults SPEC  fault plan for fault-aware benches (clauses\n"
+         "               link:R,P@C | node:N@C | drop:RATE | corrupt:RATE |\n"
+         "               seed:S, ';'-separated); others ignore it\n"
          "  --help       this text\n";
 }
 

@@ -47,6 +47,7 @@ struct Point {
 struct Options {
   int jobs = 0;           ///< --jobs N; 0 = one per hardware thread
   std::string json_path;  ///< --json FILE; empty = no JSON report
+  std::string faults;     ///< --faults SPEC; validated FaultPlan spec
   bool help = false;
 };
 
@@ -97,6 +98,7 @@ class Harness {
 
   [[nodiscard]] ThreadPool& pool() { return pool_; }
   [[nodiscard]] int jobs() const { return pool_.jobs(); }
+  [[nodiscard]] const Options& options() const { return opt_; }
 
   /// Runs `alg` over the given placements (one Simulator per placement,
   /// fanned out over the pool) and summarizes in placement order.

@@ -46,6 +46,33 @@ struct McastResult {
   Time block_cycles = 0;            ///< same, summed per message (== conflicts)
   int messages = 0;
   std::vector<Time> recv_complete;  ///< per chain position; -1 for the source
+
+  // --- fault-tolerant execution only (run_reliable); defaults describe a
+  //     clean fault-free run ---
+  int expected_dests = 0;    ///< destinations the tree was built for
+  int delivered_dests = 0;   ///< destinations that finished receiving
+  int retries = 0;           ///< retransmissions issued
+  int repairs = 0;           ///< tree-repair re-splits performed
+  int duplicate_deliveries = 0;
+  std::vector<NodeId> dead_nodes;  ///< nodes the protocol declared dead
+  /// Participants holding the payload at the end over all k participants
+  /// (source included): 1.0 on a healthy run, (k-1)/k with one dead
+  /// destination, ...
+  double delivered_fraction = 1.0;
+  /// latency minus the contention-free model bound: the price of faults,
+  /// timeouts, and repair traffic (also non-zero on contended trees).
+  Time added_latency = 0;
+  bool complete = true;      ///< every destination received
+};
+
+/// Tunables of the ack/timeout/retransmit + tree-repair protocol.
+struct FtConfig {
+  /// Retransmissions per send before the receiver is declared dead.
+  int max_retries = 3;
+  /// Timeout = timeout_scale * (model bound) + timeout_slack, then
+  /// exponential backoff in t_hold units: attempt a adds (2^a - 1) holds.
+  double timeout_scale = 2.0;
+  Time timeout_slack = 128;
 };
 
 class MulticastRuntime {
@@ -64,6 +91,20 @@ class MulticastRuntime {
   /// which must be >= sim.now().
   McastResult run(sim::Simulator& sim, const MulticastTree& tree, Bytes payload,
                   Time t0 = 0) const;
+
+  /// Fault-tolerant execution of `tree`: the healthy schedule is
+  /// identical to run() (same posts in the same order), but every send is
+  /// tracked with an ack deadline derived from the model's t_end bound
+  /// (scaled, padded, and exponentially backed off in t_hold units; see
+  /// FtConfig).  A send that times out max_retries times declares its
+  /// receiver dead and the *parent re-splits the orphaned chain interval
+  /// over the survivors* with the OPT split rule on the same sorted
+  /// chain, so repair traffic inherits the contention-freedom argument of
+  /// Theorem 1 (sorted sub-chains of a dimension-ordered chain are
+  /// dimension-ordered).  Never throws on missing destinations: reports
+  /// delivered_fraction, retries, repairs, and added_latency instead.
+  McastResult run_reliable(sim::Simulator& sim, const MulticastTree& tree,
+                           Bytes payload, FtConfig ft = {}, Time t0 = 0) const;
 
   /// Convenience: build the tree for `alg` and run it.  `shape` is
   /// required for the mesh-tuned algorithms.

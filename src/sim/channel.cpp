@@ -16,6 +16,19 @@ void FlitFifo::push(const Flit& f, Time now) {
   ++size_;
 }
 
+int FlitFifo::remove_msg(MsgId msg) {
+  int kept = 0;
+  for (int i = 0; i < size_; ++i) {
+    const Slot s = slots_[(head_ + i) % capacity_];
+    if (s.flit.msg == msg) continue;
+    slots_[(head_ + kept) % capacity_] = s;
+    ++kept;
+  }
+  const int removed = size_ - kept;
+  size_ = kept;
+  return removed;
+}
+
 Flit FlitFifo::pop(Time now) {
   if (empty()) throw std::logic_error("FlitFifo::pop on empty buffer");
   Flit f = slots_[head_].flit;

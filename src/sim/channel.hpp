@@ -34,6 +34,18 @@ class FlitFifo {
   void push(const Flit& f, Time now);
   Flit pop(Time now);
 
+  /// Flit at logical index `i` (0 == front); for fault purging and
+  /// forensic dumps only.
+  [[nodiscard]] const Flit& at(int i) const {
+    return slots_[(head_ + i) % capacity_].flit;
+  }
+
+  /// Removes every flit of `msg` (they form one contiguous segment under
+  /// the wormhole invariant, but this handles any layout), preserving the
+  /// order and entry times of the rest.  Returns the number removed.
+  /// Fault path only — never called on healthy runs.
+  int remove_msg(MsgId msg);
+
   /// Flow control against start-of-cycle occupancy: a flit popped earlier
   /// in the same cycle has not yet freed its slot for same-cycle pushes
   /// (one-cycle credit turnaround).  Each FIFO has a single writer, so at

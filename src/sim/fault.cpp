@@ -1,0 +1,120 @@
+#include "sim/fault.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+namespace pcm::sim {
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& clause, const char* why) {
+  throw std::invalid_argument("bad --faults clause '" + clause + "': " + why);
+}
+
+long long parse_ll(const std::string& clause, std::string_view v, const char* what) {
+  long long out = 0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size() || out < 0)
+    bad_spec(clause, (std::string(what) + " must be a non-negative integer").c_str());
+  return out;
+}
+
+double parse_rate(const std::string& clause, std::string_view v) {
+  double out = 0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size() || out < 0.0 || out >= 1.0)
+    bad_spec(clause, "rate must be a number in [0, 1)");
+  return out;
+}
+
+/// splitmix64 finalizer (same mixer the harness substreams use).
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* drop_reason_name(DropReason r) {
+  switch (r) {
+    case DropReason::kNone: return "none";
+    case DropReason::kLinkDown: return "link-down";
+    case DropReason::kNodeDead: return "node-dead";
+    case DropReason::kSenderDead: return "sender-dead";
+    case DropReason::kFlitFault: return "flit-fault";
+  }
+  return "?";
+}
+
+double fault_uniform(std::uint64_t seed, std::uint64_t salt, std::uint64_t a,
+                     std::uint64_t b) {
+  const std::uint64_t h =
+      mix(mix(seed + 0x9e3779b97f4a7c15ULL) ^ mix(salt) ^
+          mix(a * 0xff51afd7ed558ccdULL + b + 0x2545f4914f6cdd1dULL));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::istringstream is(spec);
+  std::string clause;
+  bool any = false;
+  while (std::getline(is, clause, ';')) {
+    if (clause.empty()) bad_spec(spec, "empty clause");
+    any = true;
+    const std::size_t colon = clause.find(':');
+    if (colon == std::string::npos) bad_spec(clause, "expected KIND:ARGS");
+    const std::string kind = clause.substr(0, colon);
+    const std::string args = clause.substr(colon + 1);
+    if (kind == "link" || kind == "linkup") {
+      const std::size_t comma = args.find(',');
+      const std::size_t at = args.find('@');
+      if (comma == std::string::npos || at == std::string::npos || at < comma)
+        bad_spec(clause, "expected ROUTER,PORT@CYCLE");
+      LinkEvent ev;
+      ev.router = static_cast<int>(
+          parse_ll(clause, std::string_view(args).substr(0, comma), "router"));
+      ev.port = static_cast<int>(parse_ll(
+          clause, std::string_view(args).substr(comma + 1, at - comma - 1), "port"));
+      ev.cycle = parse_ll(clause, std::string_view(args).substr(at + 1), "cycle");
+      ev.up = (kind == "linkup");
+      plan.link_events.push_back(ev);
+    } else if (kind == "node") {
+      const std::size_t at = args.find('@');
+      if (at == std::string::npos) bad_spec(clause, "expected NODE@CYCLE");
+      NodeEvent ev;
+      ev.node = static_cast<NodeId>(
+          parse_ll(clause, std::string_view(args).substr(0, at), "node"));
+      ev.cycle = parse_ll(clause, std::string_view(args).substr(at + 1), "cycle");
+      plan.node_events.push_back(ev);
+    } else if (kind == "drop") {
+      plan.drop_rate = parse_rate(clause, args);
+    } else if (kind == "corrupt") {
+      plan.corrupt_rate = parse_rate(clause, args);
+    } else if (kind == "seed") {
+      plan.seed = static_cast<std::uint64_t>(parse_ll(clause, args, "seed"));
+    } else {
+      bad_spec(clause, "unknown kind (link|linkup|node|drop|corrupt|seed)");
+    }
+  }
+  if (!any)
+    throw std::invalid_argument(
+        "empty --faults spec (expected e.g. 'node:42@1500;drop:0.001')");
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  int links = 0, ups = 0;
+  for (const LinkEvent& ev : link_events) (ev.up ? ups : links)++;
+  os << "faults: " << links << " link-down, " << ups << " link-up, "
+     << node_events.size() << " node-fail";
+  if (drop_rate > 0) os << ", drop=" << drop_rate;
+  if (corrupt_rate > 0) os << ", corrupt=" << corrupt_rate;
+  if (drop_rate > 0 || corrupt_rate > 0) os << ", seed=" << seed;
+  return os.str();
+}
+
+}  // namespace pcm::sim

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "sim/fault.hpp"
 
 namespace pcm::sim {
 
@@ -29,6 +30,12 @@ struct Message {
   Time inject_done = -1;    ///< last flit left the NI
   Time delivered = -1;      ///< tail flit consumed at dst
   Time block_cycles = 0;    ///< cycles the head waited on a busy channel
+  Time dropped = -1;        ///< cycle the message was lost to a fault
+  DropReason drop_reason = DropReason::kNone;
+  bool corrupted = false;   ///< delivered, but the payload is unusable
+
+  /// The message reached a terminal state (delivered or lost).
+  [[nodiscard]] bool finished() const { return delivered >= 0 || dropped >= 0; }
 };
 
 /// Dense, append-only message table.

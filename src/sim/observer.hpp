@@ -5,10 +5,50 @@
 // accounting, and machine-checking contention-freedom.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "core/types.hpp"
+#include "sim/fault.hpp"
 #include "sim/message.hpp"
 
 namespace pcm::sim {
+
+/// Forensic snapshot taken when the watchdog expires (and available on
+/// demand via Simulator::stall_report()): what is stuck, who holds what,
+/// and — when the wait-for graph is cyclic — the suspected deadlock.
+struct WatchdogReport {
+  Time cycle = 0;            ///< when the snapshot was taken
+  Time stalled_cycles = 0;   ///< consecutive cycles without progress
+
+  struct StalledMessage {
+    MsgId msg = kInvalidMsg;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    bool injected = false;   ///< head has entered the network
+    Time block_cycles = 0;
+  };
+  std::vector<StalledMessage> stalled;  ///< undelivered, unlost messages
+
+  struct Reservation {
+    int router = 0;
+    int out_port = 0;
+    MsgId holder = kInvalidMsg;
+    std::string channel;     ///< human-readable channel name
+  };
+  std::vector<Reservation> reservations;  ///< the channel reservation graph
+
+  /// Message-level wait-for cycle (each waits on a channel held by the
+  /// next; last waits on the first).  Empty when no cycle was found —
+  /// the stall is then flow-control or fault related, not a routing
+  /// deadlock.
+  std::vector<MsgId> deadlock_cycle;
+
+  /// Per-channel occupancy dump (the classic "occ=" lines).
+  std::string channel_occupancy;
+
+  [[nodiscard]] std::string to_string() const;
+};
 
 class SimObserver {
  public:
@@ -24,6 +64,19 @@ class SimObserver {
   /// `msg`'s head requested an output at (router, in_port) but every
   /// candidate channel was held by another message.
   virtual void on_blocked(int router, int in_port, MsgId msg, Time t) = 0;
+
+  /// `msg` was removed from the network by a fault (see Message::drop_
+  /// reason for why).  Default: ignore, so existing observers compile.
+  virtual void on_drop(MsgId msg, DropReason reason, Time t) {
+    (void)msg, (void)reason, (void)t;
+  }
+
+  /// A fault-plan event was applied (link state change or node failure).
+  virtual void on_fault_event(Time t) { (void)t; }
+
+  /// The watchdog expired; `report` is the forensic dump the simulator
+  /// throws with.  Called before the WatchdogError is raised.
+  virtual void on_watchdog(const WatchdogReport& report) { (void)report; }
 };
 
 }  // namespace pcm::sim

@@ -43,4 +43,19 @@ Flit Router::take(int port, Time now) {
   return in_[port].pop(now);
 }
 
+int Router::purge_msg(MsgId msg) {
+  int removed = 0;
+  for (FlitFifo& fifo : in_) removed += fifo.remove_msg(msg);
+  if (removed == 0) return 0;
+  // Recount rather than patch: removal can expose a new front (or empty a
+  // FIFO entirely), and the counters are cheap to rebuild exactly.
+  activity_ = held_;
+  pending_ = 0;
+  for (std::size_t p = 0; p < in_.size(); ++p) {
+    activity_ += in_[p].size();
+    if (!in_[p].empty() && in_assigned_[p] == -1) ++pending_;
+  }
+  return removed;
+}
+
 }  // namespace pcm::sim

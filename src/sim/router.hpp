@@ -66,6 +66,13 @@ class Router {
   /// Reserved output channels.
   [[nodiscard]] int held() const { return held_; }
 
+  /// Fault path: removes every buffered flit of `msg` from all inputs and
+  /// recomputes the worklist counters from first principles.  The caller
+  /// must release any reservations held by `msg` (the router does not
+  /// track reservation ownership) *before* purging.  Returns the number
+  /// of flits removed.
+  int purge_msg(MsgId msg);
+
  private:
   std::vector<FlitFifo> in_;
   std::vector<int> in_assigned_;

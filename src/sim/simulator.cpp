@@ -19,7 +19,34 @@ std::string err_at(const char* what, Time cycle, MsgId msg) {
   return s;
 }
 
+// Decision-family salts for the fault substream hash.
+constexpr std::uint64_t kDropSalt = 1;
+constexpr std::uint64_t kCorruptSalt = 2;
+
 }  // namespace
+
+std::string WatchdogReport::to_string() const {
+  std::ostringstream os;
+  os << "cycle=" << cycle << " stalled_cycles=" << stalled_cycles << "\n";
+  os << "stalled messages (" << stalled.size() << "):\n";
+  for (const StalledMessage& m : stalled) {
+    os << "  msg " << m.msg << ": " << m.src << " -> " << m.dst << ", "
+       << (m.injected ? "in network" : "not injected") << ", blocked "
+       << m.block_cycles << " cycles\n";
+  }
+  os << "channel reservations (" << reservations.size() << "):\n";
+  for (const Reservation& r : reservations)
+    os << "  " << r.channel << " held by msg " << r.holder << "\n";
+  if (!deadlock_cycle.empty()) {
+    os << "suspected deadlock cycle: ";
+    for (const MsgId m : deadlock_cycle) os << "msg " << m << " -> ";
+    os << "msg " << deadlock_cycle.front() << "\n";
+  } else {
+    os << "no wait-for cycle found (flow-control, fault, or NI stall)\n";
+  }
+  os << channel_occupancy;
+  return os.str();
+}
 
 Simulator::Simulator(const Topology& topo, SimConfig cfg)
     : topo_(topo), cfg_(cfg), radix_(topo.radix()) {
@@ -56,6 +83,37 @@ Simulator::Simulator(const Topology& topo, SimConfig cfg)
 
   active_words_.resize((static_cast<std::size_t>(num_routers) + 63) / 64, 0);
   nic_words_.resize((static_cast<std::size_t>(topo.num_nodes()) + 63) / 64, 0);
+
+  channel_dead_.assign(static_cast<std::size_t>(channels), 0);
+  node_dead_.assign(static_cast<std::size_t>(topo.num_nodes()), 0);
+  channel_msg_.assign(static_cast<std::size_t>(channels), kInvalidMsg);
+}
+
+void Simulator::set_fault_plan(FaultPlan plan) {
+  if (cycle_ != 0 || messages_.size() != 0)
+    throw std::logic_error("set_fault_plan: must be installed before any traffic");
+  for (const FaultPlan::LinkEvent& ev : plan.link_events) {
+    if (ev.router < 0 || ev.router >= topo_.num_routers() || ev.port < 0 ||
+        ev.port >= radix_)
+      throw std::invalid_argument("FaultPlan: link event outside topology");
+    if (ev.cycle < 0) throw std::invalid_argument("FaultPlan: negative event cycle");
+  }
+  for (const FaultPlan::NodeEvent& ev : plan.node_events) {
+    if (ev.node < 0 || ev.node >= topo_.num_nodes())
+      throw std::invalid_argument("FaultPlan: node event outside topology");
+    if (ev.cycle < 0) throw std::invalid_argument("FaultPlan: negative event cycle");
+  }
+  if (plan.drop_rate < 0 || plan.drop_rate >= 1 || plan.corrupt_rate < 0 ||
+      plan.corrupt_rate >= 1)
+    throw std::invalid_argument("FaultPlan: rates must be in [0, 1)");
+  std::stable_sort(plan.link_events.begin(), plan.link_events.end(),
+                   [](const auto& a, const auto& b) { return a.cycle < b.cycle; });
+  std::stable_sort(plan.node_events.begin(), plan.node_events.end(),
+                   [](const auto& a, const auto& b) { return a.cycle < b.cycle; });
+  faults_active_ = !plan.empty();
+  plan_ = std::move(plan);
+  next_link_event_ = 0;
+  next_node_event_ = 0;
 }
 
 MsgId Simulator::post(Message m) {
@@ -90,12 +148,21 @@ Time Simulator::run_until_idle(Time max_cycles) {
     progress_ = false;
     step();
     stalled = progress_ ? 0 : stalled + 1;
-    if (stalled > cfg_.watchdog_cycles)
-      throw std::runtime_error("Simulator watchdog: no progress for " +
-                               std::to_string(stalled) + " cycles at cycle " +
-                               std::to_string(cycle_) + "\n" + stall_dump());
+    if (stalled > cfg_.watchdog_cycles) {
+      WatchdogReport report = stall_report(stalled);
+      stats_.watchdog_fired = true;
+      stats_.cycles = cycle_;
+      stats_.undelivered = undelivered_;
+      if (observer_ != nullptr) observer_->on_watchdog(report);
+      std::string what = "Simulator watchdog: no progress for " +
+                         std::to_string(stalled) + " cycles at cycle " +
+                         std::to_string(cycle_) + "\n" + report.to_string();
+      throw WatchdogError(std::move(what), std::move(report));
+    }
   }
   stats_.cycles = cycle_;
+  stats_.undelivered = undelivered_;
+  run_status_ = idle() ? RunStatus::kCompleted : RunStatus::kTruncated;
   return cycle_;
 }
 
@@ -104,6 +171,18 @@ void Simulator::release_due_posts() {
     const MsgId id = posts_.top().id;
     posts_.pop();
     const NodeId src = messages_.at(id).src;
+    if (faults_active_ && node_dead_[static_cast<std::size_t>(src)]) {
+      // A fail-stopped node issues no sends: the post dies at the NI.
+      Message& m = messages_.at(id);
+      m.dropped = cycle_;
+      m.drop_reason = DropReason::kSenderDead;
+      ++stats_.messages_dropped;
+      --undelivered_;
+      progress_ = true;
+      dropped_now_.push_back(id);
+      if (observer_ != nullptr) observer_->on_drop(id, m.drop_reason, cycle_);
+      continue;
+    }
     Nic& nic = nics_[src];
     if (!nic.busy()) {
       ++busy_nics_;
@@ -140,15 +219,28 @@ void Simulator::arbitrate(int r) {
                      .c_str(),
                  cycle_, front.msg));
     bool granted = false;
+    bool any_live = false;
     for (int q : memo.candidates) {
+      if (faults_active_ && channel_down(r * radix_ + q)) continue;
+      any_live = true;
       if (router.out_holder(q) == -1) {
         router.reserve(p, q);
+        channel_msg_[static_cast<std::size_t>(r) * radix_ + q] = front.msg;
         if (observer_ != nullptr) observer_->on_reserve(r, q, front.msg, cycle_);
         granted = true;
         break;
       }
     }
     if (!granted) {
+      if (faults_active_ && !any_live) {
+        // Every route forward is physically dead: the packet is lost at
+        // this router (link cut or fail-stopped consumer), not blocked.
+        const DropReason reason = node_dead_[static_cast<std::size_t>(msg.dst)]
+                                      ? DropReason::kNodeDead
+                                      : DropReason::kLinkDown;
+        purge_message(front.msg, reason);
+        continue;
+      }
       if (observer_ != nullptr) observer_->on_blocked(r, p, front.msg, cycle_);
       // Every candidate channel is reserved by a different message: this
       // is exactly the wormhole contention the paper's node ordering
@@ -171,14 +263,28 @@ void Simulator::transfer(int r) {
     if (cycle_ - fifo.front_entry() < cfg_.router_delay) continue;
     const NodeId ej = eject_cache_[base + q];
     if (ej != kInvalidNode) {
+      if (faults_active_ && node_dead_[static_cast<std::size_t>(ej)]) {
+        // Consumer fail-stopped mid-delivery: the rest of the worm has
+        // nowhere to go.
+        purge_message(fifo.front().msg, DropReason::kNodeDead);
+        continue;
+      }
       const Flit flit = router.take(p, cycle_);
       --inflight_flits_;
       ++stats_.flit_hops;
       progress_ = true;
       if (flit.tail) {
         router.release(p, q);
+        channel_msg_[static_cast<std::size_t>(base) + q] = kInvalidMsg;
         if (observer_ != nullptr) observer_->on_release(r, q, flit.msg, cycle_);
         Message& msg = messages_.at(flit.msg);
+        if (faults_active_ && plan_.corrupt_rate > 0 &&
+            fault_uniform(plan_.seed, kCorruptSalt,
+                          static_cast<std::uint64_t>(flit.msg), 0) <
+                plan_.corrupt_rate) {
+          msg.corrupted = true;
+          ++stats_.messages_corrupted;
+        }
         msg.delivered = cycle_;
         ++stats_.messages_delivered;
         --undelivered_;
@@ -192,6 +298,15 @@ void Simulator::transfer(int r) {
           err_at(("message routed onto unwired channel " + topo_.channel_name(r, q))
                      .c_str(),
                  cycle_, fifo.front().msg));
+    if (faults_active_ && plan_.drop_rate > 0 && fifo.front().head &&
+        fault_uniform(plan_.seed, kDropSalt,
+                      static_cast<std::uint64_t>(fifo.front().msg),
+                      static_cast<std::uint64_t>(d.router)) < plan_.drop_rate) {
+      // The head is mangled crossing this link; the whole worm is lost
+      // (wormhole switching cannot deliver a headless body).
+      purge_message(fifo.front().msg, DropReason::kFlitFault);
+      continue;
+    }
     Router& down = routers_[d.router];
     if (!down.in(d.port).can_accept(cycle_)) continue;
     const Flit flit = router.take(p, cycle_);
@@ -201,6 +316,7 @@ void Simulator::transfer(int r) {
     progress_ = true;
     if (flit.tail) {
       router.release(p, q);
+      channel_msg_[static_cast<std::size_t>(base) + q] = kInvalidMsg;
       if (observer_ != nullptr) observer_->on_release(r, q, flit.msg, cycle_);
     }
   }
@@ -244,6 +360,7 @@ void Simulator::inject(NodeId n) {
 }
 
 void Simulator::step() {
+  if (faults_active_) apply_due_faults();
   release_due_posts();
 
   // Arbitration sweep: only routers on the active worklist, in ascending
@@ -319,6 +436,153 @@ void Simulator::step() {
       for (MsgId id : delivery_batch_) on_delivery_(messages_.at(id));
     delivery_batch_.clear();
   }
+  if (!dropped_now_.empty()) {
+    // Drop notifications follow the same post-commit discipline as
+    // deliveries, so handlers may post() retransmissions immediately.
+    delivery_batch_.swap(dropped_now_);
+    if (on_drop_)
+      for (MsgId id : delivery_batch_) on_drop_(messages_.at(id));
+    delivery_batch_.clear();
+  }
+}
+
+void Simulator::apply_due_faults() {
+  while (next_link_event_ < plan_.link_events.size() &&
+         plan_.link_events[next_link_event_].cycle <= cycle_) {
+    const FaultPlan::LinkEvent& ev = plan_.link_events[next_link_event_++];
+    const std::size_t c =
+        static_cast<std::size_t>(ev.router) * radix_ + ev.port;
+    channel_dead_[c] = ev.up ? 0 : 1;
+    if (!ev.up && channel_msg_[c] != kInvalidMsg)
+      purge_message(channel_msg_[c], DropReason::kLinkDown);
+    ++stats_.fault_events;
+    if (observer_ != nullptr) observer_->on_fault_event(cycle_);
+  }
+  while (next_node_event_ < plan_.node_events.size() &&
+         plan_.node_events[next_node_event_].cycle <= cycle_) {
+    const FaultPlan::NodeEvent& ev = plan_.node_events[next_node_event_++];
+    if (!node_dead_[static_cast<std::size_t>(ev.node)]) fail_node(ev.node);
+    ++stats_.fault_events;
+    if (observer_ != nullptr) observer_->on_fault_event(cycle_);
+  }
+}
+
+void Simulator::fail_node(NodeId n) {
+  node_dead_[static_cast<std::size_t>(n)] = 1;
+  // Outgoing traffic dies with the NI: partially injected worms would
+  // otherwise wedge the network waiting for flits that never come.
+  Nic& nic = nics_[n];
+  std::vector<MsgId> victims;
+  for (const Nic::Engine& e : nic.engines)
+    if (e.active != kInvalidMsg) victims.push_back(e.active);
+  victims.insert(victims.end(), nic.queue.begin(), nic.queue.end());
+  for (const MsgId id : victims) purge_message(id, DropReason::kSenderDead);
+  // Incoming worms are purged lazily when they reach the dead ejection
+  // channel (arbitrate/transfer check node_dead_), as a real router would
+  // discover the dead consumer only at its doorstep.
+}
+
+void Simulator::purge_message(MsgId id, DropReason reason) {
+  Message& msg = messages_.at(id);
+  if (msg.finished()) return;
+  // 1. Release every channel the worm holds (the simulator tracks holder
+  //    identity; the router only tracks port pairings).
+  const std::size_t channels = channel_msg_.size();
+  for (std::size_t c = 0; c < channels; ++c) {
+    if (channel_msg_[c] != id) continue;
+    const int r = static_cast<int>(c) / radix_;
+    const int q = static_cast<int>(c) % radix_;
+    const int p = routers_[r].out_holder(q);
+    routers_[r].release(p, q);
+    channel_msg_[c] = kInvalidMsg;
+    if (observer_ != nullptr) observer_->on_release(r, q, id, cycle_);
+  }
+  // 2. Remove its buffered flits everywhere.
+  for (Router& router : routers_) inflight_flits_ -= router.purge_msg(id);
+  // 3. Detach it from the source NI (mid-injection or still queued).
+  Nic& nic = nics_[msg.src];
+  const bool was_busy = nic.busy();
+  for (Nic::Engine& e : nic.engines)
+    if (e.active == id) e.active = kInvalidMsg;
+  std::erase(nic.queue, id);
+  if (was_busy && !nic.busy()) {
+    --busy_nics_;
+    nic_words_[static_cast<std::size_t>(msg.src) >> 6] &=
+        ~(1ULL << (msg.src & 63));
+  }
+  msg.dropped = cycle_;
+  msg.drop_reason = reason;
+  ++stats_.messages_dropped;
+  --undelivered_;
+  progress_ = true;
+  dropped_now_.push_back(id);
+  if (observer_ != nullptr) observer_->on_drop(id, reason, cycle_);
+}
+
+WatchdogReport Simulator::stall_report(Time stalled_cycles) const {
+  WatchdogReport rep;
+  rep.cycle = cycle_;
+  rep.stalled_cycles = stalled_cycles;
+  for (const Message& m : messages_.all()) {
+    if (m.finished()) continue;
+    rep.stalled.push_back(WatchdogReport::StalledMessage{
+        m.id, m.src, m.dst, m.inject_start >= 0, m.block_cycles});
+  }
+  for (std::size_t c = 0; c < channel_msg_.size(); ++c) {
+    if (channel_msg_[c] == kInvalidMsg) continue;
+    const int r = static_cast<int>(c) / radix_;
+    const int q = static_cast<int>(c) % radix_;
+    rep.reservations.push_back(WatchdogReport::Reservation{
+        r, q, channel_msg_[c], topo_.channel_name(r, q)});
+  }
+  // Wait-for graph: an unassigned head waits on the holders of every
+  // candidate output its route allows.  A cycle in this graph is the
+  // classic wormhole routing deadlock.
+  std::vector<std::vector<MsgId>> waits_on(
+      static_cast<std::size_t>(messages_.size()));
+  std::vector<int> cand;
+  for (int r = 0; r < topo_.num_routers(); ++r) {
+    const Router& router = routers_[r];
+    for (int p = 0; p < radix_; ++p) {
+      if (router.in(p).empty() || router.assigned_out(p) != -1) continue;
+      const MsgId w = router.in(p).front().msg;
+      const Message& m = messages_.at(w);
+      cand.clear();
+      topo_.route(r, p, m.src, m.dst, cand);
+      for (const int q : cand) {
+        // Self-edges stay: a worm whose head waits on a channel held by
+        // its own tail (the single-message ring wedge) is a deadlock too.
+        const MsgId holder = channel_msg_[static_cast<std::size_t>(r) * radix_ + q];
+        if (holder != kInvalidMsg)
+          waits_on[static_cast<std::size_t>(w)].push_back(holder);
+      }
+    }
+  }
+  // Iterative DFS for the first cycle.
+  enum : char { kWhite, kGrey, kBlack };
+  std::vector<char> color(waits_on.size(), kWhite);
+  std::vector<MsgId> stack;
+  std::function<bool(MsgId)> visit = [&](MsgId u) -> bool {
+    color[static_cast<std::size_t>(u)] = kGrey;
+    stack.push_back(u);
+    for (const MsgId v : waits_on[static_cast<std::size_t>(u)]) {
+      if (color[static_cast<std::size_t>(v)] == kGrey) {
+        const auto it = std::find(stack.begin(), stack.end(), v);
+        rep.deadlock_cycle.assign(it, stack.end());
+        return true;
+      }
+      if (color[static_cast<std::size_t>(v)] == kWhite && visit(v)) return true;
+    }
+    stack.pop_back();
+    color[static_cast<std::size_t>(u)] = kBlack;
+    return false;
+  };
+  for (MsgId u = 0; u < messages_.size() && rep.deadlock_cycle.empty(); ++u)
+    if (color[static_cast<std::size_t>(u)] == kWhite &&
+        !waits_on[static_cast<std::size_t>(u)].empty())
+      visit(u);
+  rep.channel_occupancy = stall_dump();
+  return rep;
 }
 
 std::string Simulator::stall_dump() const {

@@ -31,8 +31,10 @@
 #include <deque>
 #include <functional>
 #include <queue>
+#include <stdexcept>
 #include <vector>
 
+#include "sim/fault.hpp"
 #include "sim/message.hpp"
 #include "sim/observer.hpp"
 #include "sim/router.hpp"
@@ -52,6 +54,31 @@ struct SimStats {
   long long channel_conflicts = 0; ///< head-blocked-by-other-message cycles
   int messages_delivered = 0;
   int max_inflight_flits = 0;
+  // --- robustness accounting (all zero on healthy runs) ---
+  int messages_dropped = 0;        ///< purged by a fault (see DropReason)
+  int messages_corrupted = 0;      ///< delivered with an unusable payload
+  int fault_events = 0;            ///< plan events applied so far
+  int undelivered = 0;             ///< still pending when the last run returned
+  bool watchdog_fired = false;
+};
+
+/// How the last run_until_idle() call ended.
+enum class RunStatus {
+  kCompleted,  ///< every posted message reached a terminal state
+  kTruncated,  ///< max_cycles elapsed with messages still pending
+};
+
+/// Watchdog expiry: carries the forensic report alongside the what()
+/// text (which embeds WatchdogReport::to_string()).  Subclasses
+/// std::runtime_error so pre-existing catch sites keep working.
+class WatchdogError : public std::runtime_error {
+ public:
+  WatchdogError(const std::string& what, WatchdogReport report)
+      : std::runtime_error(what), report_(std::move(report)) {}
+  [[nodiscard]] const WatchdogReport& report() const { return report_; }
+
+ private:
+  WatchdogReport report_;
 };
 
 class Simulator {
@@ -63,22 +90,43 @@ class Simulator {
   /// simulator references it (the wiring is cached at construction).
   Simulator(const Topology& topo, SimConfig cfg = {});
 
+  /// Called when a message is purged by a fault; handlers may post().
+  using DropHandler = std::function<void(const Message&)>;
+
   /// Registers a message for injection at m.ready_time (must be >= now()).
   MsgId post(Message m);
 
   void set_delivery_handler(DeliveryHandler h) { on_delivery_ = std::move(h); }
+  void set_drop_handler(DropHandler h) { on_drop_ = std::move(h); }
 
   /// Installs an observer for channel-level events (nullptr to remove).
   /// Not owned; must outlive the simulation.
   void set_observer(SimObserver* obs) { observer_ = obs; }
 
-  /// Runs until every posted message is delivered or `max_cycles` elapse.
-  /// Returns the cycle count; throws std::runtime_error on watchdog
-  /// expiry (routing deadlock / flow-control bug).
+  /// Installs the fault plan.  Must be called before the first run; event
+  /// cycles already in the past are rejected.  An empty plan leaves the
+  /// healthy fast path untouched (bit-identical to no plan at all).
+  /// Throws std::invalid_argument on events outside the topology.
+  void set_fault_plan(FaultPlan plan);
+
+  /// Runs until every posted message reaches a terminal state (delivered
+  /// or fault-dropped) or `max_cycles` elapse — check run_status() to
+  /// tell a clean finish from a truncated one.  Returns the cycle count;
+  /// throws WatchdogError (a std::runtime_error carrying a forensic
+  /// WatchdogReport) on watchdog expiry (routing deadlock / flow-control
+  /// bug).
   Time run_until_idle(Time max_cycles = kTimeInfinity);
+
+  /// How the last run_until_idle() ended; kCompleted before any run.
+  [[nodiscard]] RunStatus run_status() const { return run_status_; }
 
   [[nodiscard]] bool idle() const;
   [[nodiscard]] Time now() const { return cycle_; }
+
+  /// Forensic snapshot of the current network state (stalled messages,
+  /// reservation graph, suspected deadlock cycle).  Cheap enough to call
+  /// from tests; the watchdog uses it for its exception payload.
+  [[nodiscard]] WatchdogReport stall_report(Time stalled_cycles = 0) const;
 
   [[nodiscard]] const Topology& topology() const { return topo_; }
   [[nodiscard]] MessageTable& messages() { return messages_; }
@@ -131,6 +179,16 @@ class Simulator {
   [[nodiscard]] bool network_quiescent() const;
   [[nodiscard]] std::string stall_dump() const;
 
+  // --- fault machinery (inactive unless a non-empty plan is installed) ---
+  void apply_due_faults();
+  void fail_node(NodeId n);
+  void purge_message(MsgId id, DropReason reason);
+  [[nodiscard]] bool channel_down(ChannelId c) const {
+    if (channel_dead_[static_cast<std::size_t>(c)]) return true;
+    const NodeId ej = eject_cache_[c];
+    return ej != kInvalidNode && node_dead_[static_cast<std::size_t>(ej)];
+  }
+
   void mark_router_active(int r) {
     active_words_[static_cast<std::size_t>(r) >> 6] |= 1ULL << (r & 63);
   }
@@ -148,8 +206,19 @@ class Simulator {
   long long post_seq_ = 0;
   std::vector<MsgId> delivered_now_;
   std::vector<MsgId> delivery_batch_;  ///< reused per-cycle delivery buffer
+  std::vector<MsgId> dropped_now_;     ///< fault-dropped this cycle
   DeliveryHandler on_delivery_;
+  DropHandler on_drop_;
   SimObserver* observer_ = nullptr;
+
+  // --- fault state ---
+  bool faults_active_ = false;  ///< non-empty plan installed
+  FaultPlan plan_;              ///< link/node events sorted by cycle
+  std::size_t next_link_event_ = 0;
+  std::size_t next_node_event_ = 0;
+  std::vector<char> channel_dead_;  ///< per channel id (link events)
+  std::vector<char> node_dead_;     ///< per node (fail-stop)
+  std::vector<MsgId> channel_msg_;  ///< reservation holder per channel id
 
   // --- immutable wiring caches (avoid virtual topology calls per flit) ---
   std::vector<PortRef> link_cache_;    ///< per channel id
@@ -166,6 +235,7 @@ class Simulator {
   int busy_nics_ = 0;
   int undelivered_ = 0;
   bool progress_ = false;
+  RunStatus run_status_ = RunStatus::kCompleted;
   SimStats stats_;
 };
 

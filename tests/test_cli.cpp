@@ -51,6 +51,32 @@ TEST(CliParse, Rejections) {
   EXPECT_THROW(parse_args(sv({"--bytes", "-5"})), std::invalid_argument);
 }
 
+TEST(CliParse, HardenedRejections) {
+  // Every malformed input must raise invalid_argument with a one-line
+  // message (main() turns that into exit(2) + a stderr diagnostic).
+  EXPECT_THROW(parse_args(sv({"--jobs", "-1"})), std::invalid_argument);
+  EXPECT_THROW(parse_args(sv({"--jobs", "9999"})), std::invalid_argument);
+  EXPECT_THROW(parse_args(sv({"--jobs", "two"})), std::invalid_argument);
+  EXPECT_THROW(parse_args(sv({"--json"})), std::invalid_argument);
+  EXPECT_THROW(parse_args(sv({"--json", "--probe"})), std::invalid_argument);
+  EXPECT_THROW(parse_args(sv({"--csv", "--gantt"})), std::invalid_argument);
+  EXPECT_THROW(parse_args(sv({"--faults", "node:5"})), std::invalid_argument);
+  EXPECT_THROW(parse_args(sv({"--faults", "bogus:1"})), std::invalid_argument);
+  EXPECT_THROW(parse_args(sv({"--faults", "drop:2.0"})), std::invalid_argument);
+  EXPECT_THROW(parse_args(sv({"--max-retries", "-2"})), std::invalid_argument);
+  // Faults drive the fault-tolerant *multicast* runtime only.
+  EXPECT_THROW(parse_args(sv({"--faults", "node:1@5", "--collective", "reduce"})),
+               std::invalid_argument);
+}
+
+TEST(CliParse, FaultsAccepted) {
+  const CliOptions o =
+      parse_args(sv({"--faults", "node:42@1500;drop:0.001;seed:7", "--max-retries",
+                     "5"}));
+  EXPECT_EQ(o.faults, "node:42@1500;drop:0.001;seed:7");
+  EXPECT_EQ(o.max_retries, 5);
+}
+
 TEST(CliParse, HelpSkipsValidation) {
   const CliOptions o = parse_args(sv({"--algorithm", "magic", "--help"}));
   EXPECT_TRUE(o.help);
@@ -124,6 +150,24 @@ TEST(CliRun, SmallExperimentReports) {
   EXPECT_NE(out.find("OPT-Mesh"), std::string::npos);
   EXPECT_NE(out.find("sim/model"), std::string::npos);
   EXPECT_NE(out.find("blocked"), std::string::npos);
+}
+
+TEST(CliRun, FaultedExperimentReportsDegradation) {
+  CliOptions o;
+  o.topology = "mesh:8";
+  o.algorithm = "opt-mesh";
+  o.nodes = 8;
+  o.bytes = 512;
+  o.reps = 2;
+  o.jobs = 1;
+  o.faults = "node:3@300;seed:1";  // node 3 fail-stops mid-run
+  std::ostringstream os;
+  EXPECT_EQ(run_cli(o, os), 0);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("faults:"), std::string::npos);
+  EXPECT_NE(out.find("delivered"), std::string::npos);
+  EXPECT_NE(out.find("retries"), std::string::npos);
+  EXPECT_NE(out.find("repairs"), std::string::npos);
 }
 
 TEST(CliRun, CompareListsAllAlgorithms) {

@@ -1,0 +1,504 @@
+// Fault injection and fault-tolerant multicast tests.
+//
+//   * the healthy fast path is guarded: a zero-fault FaultPlan must leave
+//     SimStats bit-identical to a no-plan run (pinned against the golden
+//     numbers of test_sim_regression.cpp);
+//   * fault-injected runs are deterministic at any thread fan-out (every
+//     decision is a pure hash of per-simulator state);
+//   * the acceptance scenario: killing a non-source destination
+//     mid-multicast on the 16x16 mesh, the retry + tree-repair runtime
+//     delivers to every survivor, contention-free;
+//   * the watchdog produces a forensic report, not a bare string.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/sampling.hpp"
+#include "harness/thread_pool.hpp"
+#include "mesh/mesh_topology.hpp"
+#include "runtime/mcast_runtime.hpp"
+#include "sim/fault.hpp"
+#include "sim/simulator.hpp"
+
+namespace pcm {
+namespace {
+
+sim::Message mk(NodeId src, NodeId dst, int flits, Time ready = 0) {
+  sim::Message m;
+  m.src = src;
+  m.dst = dst;
+  m.flits = flits;
+  m.ready_time = ready;
+  return m;
+}
+
+// --- FaultPlan parsing ---------------------------------------------------
+
+TEST(FaultPlan, ParsesFullSpec) {
+  const auto plan =
+      sim::FaultPlan::parse("link:3,1@100;linkup:3,1@200;node:42@1500;"
+                            "drop:0.001;corrupt:0.01;seed:7");
+  ASSERT_EQ(plan.link_events.size(), 2u);
+  EXPECT_EQ(plan.link_events[0].router, 3);
+  EXPECT_EQ(plan.link_events[0].port, 1);
+  EXPECT_EQ(plan.link_events[0].cycle, 100);
+  EXPECT_FALSE(plan.link_events[0].up);
+  EXPECT_TRUE(plan.link_events[1].up);
+  ASSERT_EQ(plan.node_events.size(), 1u);
+  EXPECT_EQ(plan.node_events[0].node, 42);
+  EXPECT_EQ(plan.node_events[0].cycle, 1500);
+  EXPECT_DOUBLE_EQ(plan.drop_rate, 0.001);
+  EXPECT_DOUBLE_EQ(plan.corrupt_rate, 0.01);
+  EXPECT_EQ(plan.seed, 7u);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_FALSE(plan.describe().empty());
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(sim::FaultPlan::parse(""), std::invalid_argument);
+  EXPECT_THROW(sim::FaultPlan::parse("bogus:1"), std::invalid_argument);
+  EXPECT_THROW(sim::FaultPlan::parse("node:5"), std::invalid_argument);
+  EXPECT_THROW(sim::FaultPlan::parse("node:@5"), std::invalid_argument);
+  EXPECT_THROW(sim::FaultPlan::parse("link:3@5"), std::invalid_argument);
+  EXPECT_THROW(sim::FaultPlan::parse("drop:1.5"), std::invalid_argument);
+  EXPECT_THROW(sim::FaultPlan::parse("drop:-0.1"), std::invalid_argument);
+  EXPECT_THROW(sim::FaultPlan::parse("corrupt:x"), std::invalid_argument);
+  EXPECT_THROW(sim::FaultPlan::parse("node:1@2;;"), std::invalid_argument);
+}
+
+TEST(FaultPlan, HashIsDeterministicAndUniform) {
+  // Pure function of its inputs; roughly uniform on [0, 1).
+  EXPECT_EQ(sim::fault_uniform(1, 2, 3, 4), sim::fault_uniform(1, 2, 3, 4));
+  EXPECT_NE(sim::fault_uniform(1, 2, 3, 4), sim::fault_uniform(1, 2, 3, 5));
+  double sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double u = sim::fault_uniform(9, 1, static_cast<std::uint64_t>(i), 0);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 1000.0, 0.5, 0.05);
+}
+
+// --- zero-fault golden guard --------------------------------------------
+
+TEST(FaultFreePath, ZeroFaultPlanIsBitIdenticalToBaseline) {
+  // The golden scenario of SimRegression.Mesh16OptMeshContentionFree4k,
+  // run twice: once without a plan, once with an installed plan whose
+  // events never fire.  Every SimStats field must match the golden
+  // numbers — installing a plan must not perturb the healthy engine.
+  const auto topo = mesh::make_mesh2d(16);
+  rt::MulticastRuntime rtm(rt::RuntimeConfig{});
+  const auto p = analysis::sample_placements(5, 256, 32, 1)[0];
+
+  auto run = [&](bool with_plan) {
+    sim::Simulator sim(*topo);
+    if (with_plan) {
+      sim::FaultPlan plan;
+      plan.node_events.push_back({Time{1} << 40, 0});  // far beyond the run
+      sim.set_fault_plan(plan);
+    }
+    rtm.run_algorithm(sim, McastAlgorithm::kOptMesh, p.source, p.dests, 4096,
+                      &topo->shape());
+    return sim.stats();
+  };
+
+  for (const bool with_plan : {false, true}) {
+    const sim::SimStats s = run(with_plan);
+    EXPECT_EQ(s.cycles, 5588) << "with_plan=" << with_plan;
+    EXPECT_EQ(s.flit_hops, 67620);
+    EXPECT_EQ(s.channel_conflicts, 0);
+    EXPECT_EQ(s.messages_delivered, 31);
+    EXPECT_EQ(s.max_inflight_flits, 67);
+    EXPECT_EQ(s.messages_dropped, 0);
+    EXPECT_EQ(s.messages_corrupted, 0);
+    EXPECT_EQ(s.fault_events, 0);
+    EXPECT_EQ(s.undelivered, 0);
+    EXPECT_FALSE(s.watchdog_fired);
+  }
+}
+
+TEST(FaultFreePath, ReliableRunMatchesPlainRunWhenHealthy) {
+  // run_reliable posts the same schedule as run() on a healthy network:
+  // identical latency, conflicts, and message count; zero protocol
+  // activity.
+  const auto topo = mesh::make_mesh2d(8);
+  rt::MulticastRuntime rtm(rt::RuntimeConfig{});
+  const auto p = analysis::sample_placements(11, 64, 16, 1)[0];
+  const TwoParam tp = rtm.config().machine.two_param(rtm.wire_bytes(2048, 1));
+  const MulticastTree tree =
+      build_multicast(McastAlgorithm::kOptMesh, p.source, p.dests, tp, &topo->shape());
+
+  sim::Simulator s1(*topo);
+  const rt::McastResult plain = rtm.run(s1, tree, 2048);
+  sim::Simulator s2(*topo);
+  const rt::McastResult reliable = rtm.run_reliable(s2, tree, 2048);
+
+  EXPECT_EQ(reliable.latency, plain.latency);
+  EXPECT_EQ(reliable.channel_conflicts, plain.channel_conflicts);
+  EXPECT_EQ(reliable.messages, plain.messages);
+  EXPECT_EQ(reliable.recv_complete, plain.recv_complete);
+  EXPECT_EQ(reliable.retries, 0);
+  EXPECT_EQ(reliable.repairs, 0);
+  EXPECT_EQ(reliable.duplicate_deliveries, 0);
+  EXPECT_TRUE(reliable.complete);
+  EXPECT_TRUE(reliable.dead_nodes.empty());
+  EXPECT_DOUBLE_EQ(reliable.delivered_fraction, 1.0);
+  EXPECT_EQ(reliable.added_latency, reliable.latency - reliable.model_latency);
+}
+
+// --- determinism ---------------------------------------------------------
+
+TEST(FaultDeterminism, IdenticalAcrossThreadFanOut) {
+  // Eight fault-injected placements, executed serially and on a pool:
+  // per-placement stats must be bit-identical (each Simulator owns its
+  // plan; decisions are pure hashes, never shared-state RNG draws).
+  const auto topo = mesh::make_mesh2d(8);
+  rt::MulticastRuntime rtm(rt::RuntimeConfig{});
+  const auto placements = analysis::sample_placements(23, 64, 12, 8);
+
+  struct Obs {
+    Time cycles;
+    long long hops;
+    long long conflicts;
+    int delivered;
+    int dropped;
+    int retries;
+    int repairs;
+    Time latency;
+    double fraction;
+    bool operator==(const Obs&) const = default;
+  };
+  auto sweep = [&](int jobs) {
+    std::vector<Obs> out(placements.size());
+    harness::ThreadPool pool(jobs);
+    pool.parallel_for(placements.size(), [&](std::size_t i) {
+      const analysis::Placement& p = placements[i];
+      sim::FaultPlan plan;
+      plan.drop_rate = 0.02;
+      plan.seed = 1000 + i;
+      plan.node_events.push_back({900, p.dests[i % p.dests.size()]});
+      sim::Simulator sim(*topo);
+      sim.set_fault_plan(plan);
+      const TwoParam tp = rtm.config().machine.two_param(rtm.wire_bytes(1024, 1));
+      const MulticastTree tree = build_multicast(McastAlgorithm::kOptMesh, p.source,
+                                                 p.dests, tp, &topo->shape());
+      const rt::McastResult r = rtm.run_reliable(sim, tree, 1024);
+      const sim::SimStats& s = sim.stats();
+      out[i] = Obs{s.cycles,          s.flit_hops, s.channel_conflicts,
+                   s.messages_delivered, s.messages_dropped, r.retries,
+                   r.repairs,         r.latency,   r.delivered_fraction};
+    });
+    return out;
+  };
+
+  const auto serial = sweep(1);
+  const auto parallel = sweep(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_TRUE(serial[i] == parallel[i]) << "placement " << i;
+  // The runs did inject faults (otherwise this test guards nothing).
+  int dropped = 0;
+  for (const Obs& o : serial) dropped += o.dropped;
+  EXPECT_GT(dropped, 0);
+}
+
+// --- fault semantics in the simulator ------------------------------------
+
+TEST(FaultSim, DeadDestinationPurgesIncomingTraffic) {
+  const auto topo = mesh::make_mesh2d(4);
+  sim::Simulator sim(*topo);
+  sim::FaultPlan plan;
+  plan.node_events.push_back({5, 15});
+  sim.set_fault_plan(plan);
+  sim.post(mk(0, 15, 64));          // in flight when the node dies
+  sim.post(mk(15, 3, 8, 200));      // posted after death: dies at the NI
+  sim.run_until_idle();
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.stats().messages_dropped, 2);
+  EXPECT_EQ(sim.stats().messages_delivered, 0);
+  EXPECT_EQ(sim.stats().undelivered, 0);
+  EXPECT_EQ(sim.messages().at(0).drop_reason, sim::DropReason::kNodeDead);
+  EXPECT_EQ(sim.messages().at(1).drop_reason, sim::DropReason::kSenderDead);
+  EXPECT_GE(sim.messages().at(0).dropped, 5);
+}
+
+TEST(FaultSim, LinkDownPurgesHolderAndLinkUpRestores) {
+  const auto topo = mesh::make_mesh2d(4);
+  // Find the ejection channel of node 3 by routing a probe: node 3 sits
+  // at router 3; its consumption port is the one node_attach names.
+  const sim::PortRef attach = topo->node_attach(3);
+  sim::Simulator sim(*topo);
+  sim::FaultPlan plan;
+  plan.link_events.push_back({10, attach.router, attach.port, false});
+  plan.link_events.push_back({400, attach.router, attach.port, true});
+  sim.set_fault_plan(plan);
+  sim.post(mk(0, 3, 32));            // caught by the cut
+  sim.post(mk(0, 3, 8, 500));        // sails through after restoration
+  sim.run_until_idle();
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.stats().messages_dropped, 1);
+  EXPECT_EQ(sim.stats().messages_delivered, 1);
+  EXPECT_EQ(sim.stats().fault_events, 2);
+  EXPECT_EQ(sim.messages().at(0).drop_reason, sim::DropReason::kLinkDown);
+  EXPECT_GE(sim.messages().at(1).delivered, 500);
+}
+
+TEST(FaultSim, DropRateLosesSomeMessagesDeterministically) {
+  const auto topo = mesh::make_mesh2d(8);
+  auto run = [&] {
+    sim::Simulator sim(*topo);
+    sim::FaultPlan plan;
+    plan.drop_rate = 0.05;
+    plan.seed = 42;
+    sim.set_fault_plan(plan);
+    for (int i = 0; i < 60; ++i)
+      sim.post(mk(i % 64, (i * 17 + 5) % 64, 16, i * 3));
+    sim.run_until_idle();
+    return sim.stats();
+  };
+  const sim::SimStats a = run();
+  const sim::SimStats b = run();
+  EXPECT_GT(a.messages_dropped, 0);
+  EXPECT_GT(a.messages_delivered, 0);
+  EXPECT_EQ(a.messages_dropped + a.messages_delivered, 60);
+  EXPECT_EQ(a.messages_dropped, b.messages_dropped);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.flit_hops, b.flit_hops);
+}
+
+TEST(FaultSim, CorruptionDeliversUnusablePayload) {
+  const auto topo = mesh::make_mesh2d(4);
+  sim::Simulator sim(*topo);
+  sim::FaultPlan plan;
+  plan.corrupt_rate = 0.999999;  // certain, but still a rate decision
+  plan.seed = 3;
+  sim.set_fault_plan(plan);
+  sim.post(mk(0, 15, 8));
+  sim.run_until_idle();
+  EXPECT_EQ(sim.stats().messages_delivered, 1);
+  EXPECT_EQ(sim.stats().messages_corrupted, 1);
+  EXPECT_TRUE(sim.messages().at(0).corrupted);
+}
+
+TEST(FaultSim, PlanInstallationIsValidated) {
+  const auto topo = mesh::make_mesh2d(4);
+  sim::Simulator sim(*topo);
+  sim::FaultPlan bad;
+  bad.node_events.push_back({10, 99});  // node out of range
+  EXPECT_THROW(sim.set_fault_plan(bad), std::invalid_argument);
+  sim::FaultPlan late;
+  late.node_events.push_back({10, 1});
+  sim.post(mk(0, 1, 4));
+  EXPECT_THROW(sim.set_fault_plan(late), std::logic_error);  // traffic exists
+}
+
+// --- truncation status ---------------------------------------------------
+
+TEST(Truncation, PartialRunIsDistinguishableFromCleanFinish) {
+  const auto topo = mesh::make_mesh2d(4);
+  sim::Simulator sim(*topo);
+  sim.post(mk(0, 15, 1000));
+  sim.run_until_idle(/*max_cycles=*/50);
+  EXPECT_EQ(sim.run_status(), sim::RunStatus::kTruncated);
+  EXPECT_FALSE(sim.idle());
+  EXPECT_GT(sim.stats().undelivered, 0);
+  sim.run_until_idle();
+  EXPECT_EQ(sim.run_status(), sim::RunStatus::kCompleted);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.stats().undelivered, 0);
+  EXPECT_EQ(sim.stats().messages_delivered, 1);
+}
+
+// --- watchdog forensics --------------------------------------------------
+
+// Two routers in a ring with no ejection: the canonical self-wedge (see
+// test_sim_errors.cpp).
+class RingTopology final : public sim::Topology {
+ public:
+  [[nodiscard]] int num_routers() const override { return 2; }
+  [[nodiscard]] int radix() const override { return 2; }
+  [[nodiscard]] int num_nodes() const override { return 2; }
+  [[nodiscard]] sim::PortRef link(int router, int out_port) const override {
+    if (out_port != 0) return {};
+    return sim::PortRef{1 - router, 0};
+  }
+  [[nodiscard]] sim::PortRef node_attach(NodeId n) const override {
+    return sim::PortRef{static_cast<int>(n), 1};
+  }
+  [[nodiscard]] NodeId ejector(int, int) const override { return kInvalidNode; }
+  void route(int, int, NodeId, NodeId, std::vector<int>& candidates) const override {
+    candidates.push_back(0);
+  }
+};
+
+class WatchdogObserver final : public sim::SimObserver {
+ public:
+  void on_reserve(int, int, sim::MsgId, Time) override {}
+  void on_release(int, int, sim::MsgId, Time) override {}
+  void on_blocked(int, int, sim::MsgId, Time) override {}
+  void on_watchdog(const sim::WatchdogReport& report) override {
+    ++calls;
+    last = report;
+  }
+  int calls = 0;
+  sim::WatchdogReport last;
+};
+
+TEST(WatchdogForensics, ReportCarriesStallStateAndDeadlockCycle) {
+  RingTopology topo;
+  sim::SimConfig cfg;
+  cfg.fifo_capacity = 2;
+  cfg.watchdog_cycles = 200;
+  sim::Simulator sim(topo, cfg);
+  WatchdogObserver obs;
+  sim.set_observer(&obs);
+  sim.post(mk(0, 1, 32));
+  try {
+    sim.run_until_idle();
+    FAIL() << "expected WatchdogError";
+  } catch (const sim::WatchdogError& e) {
+    const sim::WatchdogReport& rep = e.report();
+    ASSERT_EQ(rep.stalled.size(), 1u);
+    EXPECT_EQ(rep.stalled[0].msg, 0);
+    EXPECT_EQ(rep.stalled[0].src, 0);
+    EXPECT_EQ(rep.stalled[0].dst, 1);
+    EXPECT_TRUE(rep.stalled[0].injected);
+    EXPECT_FALSE(rep.reservations.empty());
+    // The worm waits on its own reservation: a one-message cycle.
+    ASSERT_FALSE(rep.deadlock_cycle.empty());
+    EXPECT_EQ(rep.deadlock_cycle[0], 0);
+    EXPECT_NE(rep.channel_occupancy.find("occ="), std::string::npos);
+    EXPECT_GT(rep.stalled_cycles, 200);
+    // The what() text embeds the same dump (legacy catch sites).
+    const std::string what = e.what();
+    EXPECT_NE(what.find("watchdog"), std::string::npos);
+    EXPECT_NE(what.find("occ="), std::string::npos);
+    EXPECT_NE(what.find("deadlock"), std::string::npos);
+  }
+  EXPECT_EQ(obs.calls, 1);
+  EXPECT_FALSE(obs.last.stalled.empty());
+  EXPECT_TRUE(sim.stats().watchdog_fired);
+}
+
+TEST(WatchdogForensics, StallReportOnDemandIsCheapAndEmptyWhenIdle) {
+  const auto topo = mesh::make_mesh2d(4);
+  sim::Simulator sim(*topo);
+  const sim::WatchdogReport rep = sim.stall_report();
+  EXPECT_TRUE(rep.stalled.empty());
+  EXPECT_TRUE(rep.reservations.empty());
+  EXPECT_TRUE(rep.deadlock_cycle.empty());
+}
+
+// --- the acceptance scenario --------------------------------------------
+
+TEST(FaultTolerantRuntime, KilledDestinationIsRepairedAround) {
+  // 16x16 mesh, OPT-mesh, 32 participants.  One non-source destination
+  // fail-stops mid-multicast (before its delivery).  The runtime must
+  //   * deliver to every survivor (delivered fraction (k-1)/k),
+  //   * retry the dead receiver before giving up (retries > 0),
+  //   * re-split the orphan interval (repairs > 0) without introducing
+  //     channel conflicts among the survivors.
+  const auto topo = mesh::make_mesh2d(16);
+  rt::MulticastRuntime rtm(rt::RuntimeConfig{});
+  const auto p = analysis::sample_placements(5, 256, 32, 1)[0];
+  const int k = 32;
+  const TwoParam tp = rtm.config().machine.two_param(rtm.wire_bytes(4096, 1));
+  const MulticastTree tree =
+      build_multicast(McastAlgorithm::kOptMesh, p.source, p.dests, tp, &topo->shape());
+
+  // Pick an interior victim: a destination that itself forwards (so its
+  // subtree is orphaned, forcing a genuine repair, not just a dead leaf).
+  NodeId victim = kInvalidNode;
+  for (int pos = 0; pos < tree.num_nodes(); ++pos) {
+    if (pos == tree.chain.source_pos || tree.out[pos].empty()) continue;
+    victim = tree.node(pos);
+    break;
+  }
+  ASSERT_NE(victim, kInvalidNode);
+
+  sim::Simulator sim(*topo);
+  sim::FaultPlan plan;
+  plan.node_events.push_back({800, victim});  // after injection, pre-delivery
+  sim.set_fault_plan(plan);
+  const rt::McastResult r = rtm.run_reliable(sim, tree, 4096);
+
+  EXPECT_EQ(r.expected_dests, k - 1);
+  EXPECT_EQ(r.delivered_dests, k - 2) << "every survivor must be served";
+  EXPECT_DOUBLE_EQ(r.delivered_fraction, static_cast<double>(k - 1) / k);
+  EXPECT_FALSE(r.complete);
+  ASSERT_EQ(r.dead_nodes.size(), 1u);
+  EXPECT_EQ(r.dead_nodes[0], victim);
+  EXPECT_GT(r.retries, 0);
+  EXPECT_GT(r.repairs, 0);
+  EXPECT_GT(r.added_latency, 0);
+
+  // Survivor traffic stays contention-free: no delivered message ever
+  // blocked (only purged sends to the dead node may be interrupted).
+  for (const sim::Message& m : sim.messages().all()) {
+    if (m.delivered < 0) continue;
+    EXPECT_EQ(m.block_cycles, 0) << "message " << m.id;
+  }
+  // Every survivor position did receive.
+  for (int pos = 0; pos < tree.num_nodes(); ++pos) {
+    if (pos == tree.chain.source_pos || tree.node(pos) == victim) continue;
+    EXPECT_GE(r.recv_complete[pos], 0) << "position " << pos;
+  }
+}
+
+TEST(FaultTolerantRuntime, DropStormIsAbsorbedByRetries) {
+  // Heavy per-hop loss, no dead nodes: retries must reach everyone.
+  const auto topo = mesh::make_mesh2d(8);
+  rt::MulticastRuntime rtm(rt::RuntimeConfig{});
+  const auto p = analysis::sample_placements(7, 64, 16, 1)[0];
+  const TwoParam tp = rtm.config().machine.two_param(rtm.wire_bytes(1024, 1));
+  const MulticastTree tree =
+      build_multicast(McastAlgorithm::kOptMesh, p.source, p.dests, tp, &topo->shape());
+  sim::Simulator sim(*topo);
+  sim::FaultPlan plan;
+  plan.drop_rate = 0.05;
+  plan.seed = 11;
+  sim.set_fault_plan(plan);
+  const rt::McastResult r = rtm.run_reliable(sim, tree, 1024);
+  EXPECT_TRUE(r.complete);
+  EXPECT_GT(r.retries, 0);
+  EXPECT_GT(sim.stats().messages_dropped, 0);
+  EXPECT_DOUBLE_EQ(r.delivered_fraction, 1.0);
+}
+
+TEST(FaultTolerantRuntime, CorruptedDeliveriesAreRetransmitted) {
+  const auto topo = mesh::make_mesh2d(8);
+  rt::MulticastRuntime rtm(rt::RuntimeConfig{});
+  const auto p = analysis::sample_placements(9, 64, 8, 1)[0];
+  const TwoParam tp = rtm.config().machine.two_param(rtm.wire_bytes(1024, 1));
+  const MulticastTree tree =
+      build_multicast(McastAlgorithm::kOptMesh, p.source, p.dests, tp, &topo->shape());
+  sim::Simulator sim(*topo);
+  sim::FaultPlan plan;
+  plan.corrupt_rate = 0.3;
+  plan.seed = 5;
+  sim.set_fault_plan(plan);
+  const rt::McastResult r = rtm.run_reliable(sim, tree, 1024);
+  EXPECT_TRUE(r.complete);
+  EXPECT_GT(sim.stats().messages_corrupted, 0);
+  EXPECT_GT(r.retries, 0);
+}
+
+TEST(FaultTolerantRuntime, BadFtConfigIsRejected) {
+  const auto topo = mesh::make_mesh2d(4);
+  rt::MulticastRuntime rtm(rt::RuntimeConfig{});
+  const auto p = analysis::sample_placements(3, 16, 4, 1)[0];
+  const TwoParam tp = rtm.config().machine.two_param(rtm.wire_bytes(64, 1));
+  const MulticastTree tree =
+      build_multicast(McastAlgorithm::kOptMesh, p.source, p.dests, tp, &topo->shape());
+  sim::Simulator sim(*topo);
+  rt::FtConfig bad;
+  bad.max_retries = -1;
+  EXPECT_THROW(rtm.run_reliable(sim, tree, 64, bad), std::invalid_argument);
+  bad = rt::FtConfig{};
+  bad.timeout_scale = 0.5;
+  EXPECT_THROW(rtm.run_reliable(sim, tree, 64, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pcm
