@@ -1,5 +1,6 @@
 #include "cli/options.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <fstream>
 #include <ostream>
@@ -8,6 +9,9 @@
 
 #include "analysis/sampling.hpp"
 #include "analysis/stats.hpp"
+#include "core/chain.hpp"
+#include "verify/chaos.hpp"
+#include "verify/invariant_auditor.hpp"
 #include "analysis/table.hpp"
 #include "analysis/timeline.hpp"
 #include "bmin/bmin_topology.hpp"
@@ -95,12 +99,22 @@ CliOptions parse_args(std::span<const std::string_view> args) {
       opt.max_retries = static_cast<int>(parse_int(a, value()));
       if (opt.max_retries < 0 || opt.max_retries > 40)
         throw std::invalid_argument("pcmcast: --max-retries must be in [0, 40]");
+    } else if (a == "--source") {
+      opt.source = static_cast<int>(parse_int(a, value()));
+    } else if (a == "--dests") {
+      opt.dests = std::string(value());
     } else if (a == "--probe") {
       opt.probe = true;
     } else if (a == "--compare") {
       opt.compare = true;
     } else if (a == "--gantt") {
       opt.gantt = true;
+    } else if (a == "--audit") {
+      opt.audit = true;
+    } else if (a == "--allow-partial") {
+      opt.allow_partial = true;
+    } else if (a == "--shuffle-chain") {
+      opt.shuffle_chain = true;
     } else if (a == "--collective") {
       opt.collective = std::string(value());
     } else {
@@ -129,6 +143,12 @@ CliOptions parse_args(std::span<const std::string_view> args) {
                                     std::string(e.what()));
       }
     }
+    if ((opt.audit || opt.shuffle_chain) && opt.collective != "multicast")
+      throw std::invalid_argument(
+          "pcmcast: --audit/--shuffle-chain require --collective multicast");
+    if (opt.dests.empty() != (opt.source < 0))
+      throw std::invalid_argument(
+          "pcmcast: --source and --dests must be given together");
   }
   return opt;
 }
@@ -198,6 +218,17 @@ std::string usage() {
          "                     e.g. \"node:42@1500;drop:0.001\" (multicast only)\n"
          "  --max-retries N    retransmissions before a receiver is declared dead\n"
          "                     (default 3; only meaningful with --faults)\n"
+         "  --allow-partial    exit 0 even when a fault run loses destinations\n"
+         "                     (default: delivered < 100% exits 1)\n"
+         "  --audit            run under the invariant auditor (conservation,\n"
+         "                     channel exclusivity, Thm 1-2 contention freedom,\n"
+         "                     ack epochs); a violation prints and exits 3\n"
+         "  --source N         explicit source node (requires --dests)\n"
+         "  --dests A,B,...    explicit destination list; replaces the sampled\n"
+         "                     placements (one rep) — chaos reproducers use this\n"
+         "  --shuffle-chain    self-test: split the --seed-shuffled caller-order\n"
+         "                     chain instead of the sorted one, deliberately\n"
+         "                     voiding the contention-freedom precondition\n"
          "  --csv PATH         also write per-rep results as CSV\n"
          "  --json PATH        also write a machine-readable JSON report\n"
          "  --jobs N           fan placements out over N threads\n"
@@ -225,20 +256,49 @@ RunOutcome run_one(const MeshShape* shape, const rt::CollectiveRuntime& coll,
                    const sim::FaultPlan* plan) {
   const rt::MulticastRuntime& rtm = coll.multicast();
   const TwoParam tp = rtm.config().machine.two_param(rtm.wire_bytes(opt.bytes, 1));
-  const MulticastTree tree = build_multicast(alg, p.source, p.dests, tp, shape);
+  MulticastTree tree;
+  if (opt.shuffle_chain) {
+    // Self-test path: the algorithm's split rule over the caller-order
+    // chain of --seed-shuffled destinations, not the sorted chain — the
+    // Theorem 1/2 precondition is void, so --audit should object.
+    const std::vector<NodeId> dests = verify::shuffle_dests(p.dests, opt.seed);
+    const Chain chain = make_chain(p.source, dests, ChainOrder::kAsGiven);
+    tree = build_chain_split_tree(chain, split_table_for(alg, tp, chain.size()));
+  } else {
+    tree = build_multicast(alg, p.source, p.dests, tp, shape);
+  }
+  std::optional<verify::InvariantAuditor> auditor;
+  if (opt.audit) {
+    verify::AuditConfig acfg;
+    // Strict Thm 1-2 contention freedom only holds for the healthy
+    // schedule; retransmissions may legally block inside a receiver's
+    // sub-network.
+    acfg.require_contention_free =
+        verify::guarantees_contention_free(alg) && plan == nullptr;
+    acfg.plan_known = plan != nullptr;
+    if (plan != nullptr) acfg.plan = *plan;
+    auditor.emplace(sim.topology(), acfg);
+    sim.set_observer(&*auditor);
+  }
   RunOutcome out;
   if (plan != nullptr) {
     sim.set_fault_plan(*plan);
     rt::FtConfig ft;
     ft.max_retries = opt.max_retries;
+    ft.record_ack_trace = opt.audit;
     const rt::McastResult r = rtm.run_reliable(sim, tree, opt.bytes, ft, sim.now());
     out = RunOutcome{r.latency,           r.model_latency,
                      r.channel_conflicts, r.delivered_fraction,
                      r.retries,           r.repairs,
                      static_cast<int>(r.dead_nodes.size())};
+    if (auditor) {
+      auditor->finalize(sim);
+      verify::InvariantAuditor::audit_result(r);
+    }
   } else if (opt.collective == "multicast") {
     const rt::McastResult r = rtm.run(sim, tree, opt.bytes, sim.now());
     out = RunOutcome{r.latency, r.model_latency, r.channel_conflicts};
+    if (auditor) auditor->finalize(sim);
   } else if (opt.collective == "reduce") {
     const rt::ReduceResult r = coll.run_reduce(sim, tree, opt.bytes, sim.now());
     out = RunOutcome{r.latency, r.model_latency, r.channel_conflicts};
@@ -259,8 +319,32 @@ int run_cli(const CliOptions& opt, std::ostream& os) {
   }
   const auto topo = make_topology(opt.topology);
   const MeshShape* shape = mesh_shape_of(*topo);
-  if (opt.nodes > topo->num_nodes())
+  if (opt.dests.empty() && opt.nodes > topo->num_nodes())
     throw std::invalid_argument("pcmcast: --nodes exceeds topology size");
+
+  std::vector<analysis::Placement> placements;
+  if (!opt.dests.empty()) {
+    // Explicit placement (chaos reproducers): one rep, exactly as given.
+    analysis::Placement p;
+    p.source = opt.source;
+    std::istringstream is(opt.dests);
+    std::string tok;
+    while (std::getline(is, tok, ','))
+      p.dests.push_back(static_cast<NodeId>(parse_int("--dests", tok)));
+    if (p.dests.empty()) throw std::invalid_argument("pcmcast: empty --dests list");
+    if (p.source < 0 || p.source >= topo->num_nodes())
+      throw std::invalid_argument("pcmcast: --source outside the topology");
+    for (const NodeId d : p.dests)
+      if (d < 0 || d >= topo->num_nodes())
+        throw std::invalid_argument("pcmcast: --dests node outside the topology");
+    placements.push_back(std::move(p));
+  } else {
+    placements =
+        analysis::sample_placements(opt.seed, topo->num_nodes(), opt.nodes, opt.reps);
+  }
+  const int group_size = opt.dests.empty()
+                             ? opt.nodes
+                             : static_cast<int>(placements.front().dests.size()) + 1;
 
   std::vector<McastAlgorithm> algs;
   if (opt.compare) {
@@ -282,8 +366,10 @@ int run_cli(const CliOptions& opt, std::ostream& os) {
   rt::RuntimeConfig cfg;
   rt::CollectiveRuntime coll(cfg);
   os << "pcmcast: " << (opt.compare ? std::string("compare") : opt.algorithm) << " ("
-     << opt.collective << ") on " << opt.topology << ", k=" << opt.nodes << ", "
-     << opt.bytes << " B, " << opt.reps << " reps, seed " << opt.seed << "\n";
+     << opt.collective << ") on " << opt.topology << ", k=" << group_size << ", "
+     << opt.bytes << " B, " << placements.size() << " reps, seed " << opt.seed
+     << (opt.shuffle_chain ? ", shuffled chain" : "")
+     << (opt.audit ? ", audited" : "") << "\n";
   os << "machine: " << describe(cfg.machine, opt.bytes) << "\n";
 
   std::optional<sim::FaultPlan> plan;
@@ -301,8 +387,6 @@ int run_cli(const CliOptions& opt, std::ostream& os) {
        << "\n";
   }
 
-  const auto placements =
-      analysis::sample_placements(opt.seed, topo->num_nodes(), opt.nodes, opt.reps);
   const bool ft = plan.has_value();
   std::vector<std::string> sum_cols = {"algorithm", "mean", "ci95",      "min",
                                        "max",       "model", "sim/model", "blocked"};
@@ -317,6 +401,12 @@ int run_cli(const CliOptions& opt, std::ostream& os) {
   analysis::Table summary(sum_cols);
   analysis::Table rows(row_cols);
   harness::ThreadPool pool(opt.jobs);
+  double min_delivered = 1.0;
+  auto audit_failure = [&os](const verify::InvariantViolation& v) {
+    os << "pcmcast: AUDIT VIOLATION: " << v.what() << "\n";
+    return 3;
+  };
+  try {
   for (McastAlgorithm alg : algs) {
     // Each placement gets its own Simulator and an indexed result slot;
     // the summary below reads the slots in placement order, so the report
@@ -332,6 +422,7 @@ int run_cli(const CliOptions& opt, std::ostream& os) {
     long long conflicts = 0, retries = 0, repairs = 0, dead = 0;
     for (size_t i = 0; i < outcomes.size(); ++i) {
       const RunOutcome& r = outcomes[i];
+      min_delivered = std::min(min_delivered, r.delivered);
       lat.push_back(static_cast<double>(r.latency));
       model.push_back(static_cast<double>(r.model));
       delivered.push_back(r.delivered);
@@ -366,12 +457,19 @@ int run_cli(const CliOptions& opt, std::ostream& os) {
     }
     summary.add_row(std::move(srow));
   }
+  } catch (const verify::InvariantViolation& v) {
+    return audit_failure(v);
+  }
   os << "\n" << summary.to_string();
 
   if (opt.gantt) {
     sim::Simulator sim(*topo);
-    (void)run_one(shape, coll, opt, algs.front(), placements.front(), sim,
-                  ft ? &*plan : nullptr);
+    try {
+      (void)run_one(shape, coll, opt, algs.front(), placements.front(), sim,
+                    ft ? &*plan : nullptr);
+    } catch (const verify::InvariantViolation& v) {
+      return audit_failure(v);
+    }
     os << "\nmessage timeline (" << algorithm_name(algs.front()) << ", rep 0):\n"
        << analysis::timeline_gantt(analysis::message_timeline(sim.messages()));
   }
@@ -389,6 +487,12 @@ int run_cli(const CliOptions& opt, std::ostream& os) {
     report.add_table("per-rep", opt.csv, rows);
     report.write(opt.json);
     os << "json:    " << opt.json << "\n";
+  }
+  if (ft && min_delivered < 1.0 && !opt.allow_partial) {
+    os << "pcmcast: partial delivery (min "
+       << analysis::Table::num(min_delivered, 4)
+       << " of participants); failing — pass --allow-partial to accept\n";
+    return 1;
   }
   return 0;
 }

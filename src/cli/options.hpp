@@ -33,9 +33,14 @@ struct CliOptions {
   std::string faults;                   ///< fault plan spec (see FaultPlan::parse)
   int max_retries = 3;                  ///< fault-tolerant runtime retry budget
   int jobs = 0;                         ///< worker threads; 0 = hardware
+  int source = -1;                      ///< explicit source node (with --dests)
+  std::string dests;                    ///< explicit comma-separated destinations
   bool probe = false;                   ///< measure (t_hold, t_end) first
   bool compare = false;                 ///< run every applicable algorithm
   bool gantt = false;                   ///< print a message Gantt for rep 0
+  bool audit = false;                   ///< run under the InvariantAuditor
+  bool allow_partial = false;           ///< exit 0 despite lost destinations
+  bool shuffle_chain = false;           ///< self-test: split an unsorted chain
   bool help = false;
 };
 
@@ -59,7 +64,9 @@ const MeshShape* mesh_shape_of(const sim::Topology& topo);
 std::string usage();
 
 /// Runs the experiment described by `opt` and writes the report to `os`.
-/// Returns 0 on success (the process exit code).
+/// Returns the process exit code: 0 on success, 1 when a fault run lost
+/// destinations and --allow-partial was not given, 3 when --audit caught
+/// an invariant violation.  (2 is the caller's catch-all for errors.)
 int run_cli(const CliOptions& opt, std::ostream& os);
 
 }  // namespace pcm::cli

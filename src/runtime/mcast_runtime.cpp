@@ -159,6 +159,13 @@ McastResult MulticastRuntime::run_reliable(sim::Simulator& sim,
            ft.timeout_slack + retry_budget;
   };
 
+  auto trace = [&](AckEvent::Kind kind, Time t, std::size_t ri, int attempt,
+                   int recv_pos) {
+    if (ft.record_ack_trace)
+      res.ack_trace.push_back(
+          AckEvent{kind, t, static_cast<int>(ri), attempt, recv_pos});
+  };
+
   // Posts one attempt of recs[ri]; `base` lower-bounds the send-op start.
   auto issue = [&](std::size_t ri, Time base) {
     Pending& rec = recs[ri];
@@ -168,6 +175,7 @@ McastResult MulticastRuntime::run_reliable(sim::Simulator& sim,
     int& e = engine_rr[s];
     Time& op = next_op[s][static_cast<std::size_t>(e)];
     op = std::max(op, base);
+    trace(AckEvent::Kind::kIssue, op, ri, rec.attempt, rec.recv_pos);
     sim::Message m;
     m.src = tree.node(s);
     m.dst = tree.node(rec.recv_pos);
@@ -260,12 +268,25 @@ McastResult MulticastRuntime::run_reliable(sim::Simulator& sim,
       if (!recs[ri].acked) {
         recs[ri].acked = true;
         recs[ri].subtree_deadline = subtree_deadline_for(done, n);
+        trace(AckEvent::Kind::kAck, done, ri, recs[ri].attempt, pos);
       }
       return;
     }
     received[pos] = 1;
     res.recv_complete[pos] = done;
+    if (declared_dead[pos]) {
+      // The retry ladder gave up on this receiver, but an attempt that was
+      // still in flight landed anyway: the death verdict was premature.
+      // Retract it — a late ack proves life, as on a real machine — so the
+      // result never counts one receiver as both dead and delivered.
+      declared_dead[pos] = 0;
+      const NodeId revived = tree.node(pos);
+      res.dead_nodes.erase(
+          std::remove(res.dead_nodes.begin(), res.dead_nodes.end(), revived),
+          res.dead_nodes.end());
+    }
     recs[ri].acked = true;
+    trace(AckEvent::Kind::kAck, done, ri, recs[ri].attempt, pos);
     const bool primary = recs[ri].primary;
     if (n <= 1) {
       recs[ri].closed = true;
@@ -330,6 +351,7 @@ McastResult MulticastRuntime::run_reliable(sim::Simulator& sim,
           rec.acked = true;
           rec.subtree_deadline =
               subtree_deadline_for(now, static_cast<int>(rec.interval.size()));
+          trace(AckEvent::Kind::kAck, now, ri, rec.attempt, rec.recv_pos);
           continue;
         }
         if (now < rec.ack_deadline) continue;

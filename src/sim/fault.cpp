@@ -1,6 +1,8 @@
 #include "sim/fault.hpp"
 
 #include <charconv>
+#include <cstdio>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 
@@ -33,6 +35,25 @@ std::uint64_t mix(std::uint64_t z) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
+}
+
+// Decision-family salts: one per rate so drop and corrupt decisions for
+// the same message never correlate.
+constexpr std::uint64_t kDropSalt = 1;
+constexpr std::uint64_t kCorruptSalt = 2;
+
+/// Shortest decimal form of `rate` that parses back to the same double,
+/// so FaultPlan::parse(to_spec()) round-trips bit-exactly.
+std::string rate_string(double rate) {
+  char buf[64];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, rate);
+    double back = 0;
+    const auto [ptr, ec] = std::from_chars(buf, buf + std::strlen(buf), back);
+    (void)ptr;
+    if (ec == std::errc{} && back == rate) break;
+  }
+  return buf;
 }
 
 }  // namespace
@@ -103,6 +124,45 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     throw std::invalid_argument(
         "empty --faults spec (expected e.g. 'node:42@1500;drop:0.001')");
   return plan;
+}
+
+bool plan_corrupts(const FaultPlan& plan, int msg) {
+  return plan.corrupt_rate > 0 &&
+         fault_uniform(plan.seed, kCorruptSalt, static_cast<std::uint64_t>(msg), 0) <
+             plan.corrupt_rate;
+}
+
+bool plan_drops(const FaultPlan& plan, int msg, int downstream_router) {
+  return plan.drop_rate > 0 &&
+         fault_uniform(plan.seed, kDropSalt, static_cast<std::uint64_t>(msg),
+                       static_cast<std::uint64_t>(downstream_router)) <
+             plan.drop_rate;
+}
+
+std::string FaultPlan::to_spec() const {
+  std::ostringstream os;
+  const char* sep = "";
+  for (const LinkEvent& ev : link_events) {
+    os << sep << (ev.up ? "linkup" : "link") << ':' << ev.router << ',' << ev.port
+       << '@' << ev.cycle;
+    sep = ";";
+  }
+  for (const NodeEvent& ev : node_events) {
+    os << sep << "node:" << ev.node << '@' << ev.cycle;
+    sep = ";";
+  }
+  if (drop_rate > 0) {
+    os << sep << "drop:" << rate_string(drop_rate);
+    sep = ";";
+  }
+  if (corrupt_rate > 0) {
+    os << sep << "corrupt:" << rate_string(corrupt_rate);
+    sep = ";";
+  }
+  // The seed only matters when a rate draws from it, but emitting it
+  // whenever it is set keeps parse(to_spec()) == *this unconditionally.
+  if (seed != 0) os << sep << "seed:" << seed;
+  return os.str();
 }
 
 std::string FaultPlan::describe() const {

@@ -47,10 +47,12 @@ struct FaultPlan {
     int router = 0;
     int port = 0;
     bool up = false;  ///< false = link goes down, true = link restored
+    bool operator==(const LinkEvent&) const = default;
   };
   struct NodeEvent {
     Time cycle = 0;
     NodeId node = kInvalidNode;
+    bool operator==(const NodeEvent&) const = default;
   };
 
   std::vector<LinkEvent> link_events;   ///< applied in cycle order
@@ -77,7 +79,24 @@ struct FaultPlan {
 
   /// One-line human-readable summary for preambles and reports.
   [[nodiscard]] std::string describe() const;
+
+  /// Serializes the plan back to a `--faults` spec string such that
+  /// `parse(to_spec()) == *this` (events in stored order; rates printed
+  /// with enough digits to round-trip exactly).  The chaos minimizer
+  /// relies on this to hand out replayable reproducers.  An empty plan
+  /// has no spec (parse rejects empty strings); returns "".
+  [[nodiscard]] std::string to_spec() const;
+
+  bool operator==(const FaultPlan&) const = default;
 };
+
+/// The plan's (deterministic) per-delivery corruption decision for `msg`
+/// — the same hash the simulator consults, exposed so auditors can
+/// cross-check that a delivered message's corrupted flag matches the plan.
+[[nodiscard]] bool plan_corrupts(const FaultPlan& plan, int msg);
+
+/// The plan's per-hop drop decision for `msg` entering `downstream_router`.
+[[nodiscard]] bool plan_drops(const FaultPlan& plan, int msg, int downstream_router);
 
 /// Deterministic per-decision hash mapped to [0, 1).  `salt` separates
 /// decision families (drop vs corrupt), `a`/`b` identify the decision

@@ -54,6 +54,15 @@ class SimObserver {
  public:
   virtual ~SimObserver() = default;
 
+  /// `m` was registered with Simulator::post at cycle `t` (m.id is
+  /// assigned by then).  Default: ignore, so existing observers compile.
+  virtual void on_post(const Message& m, Time t) { (void)m, (void)t; }
+
+  /// `m`'s tail flit was consumed at its destination at cycle `t`
+  /// (m.delivered and m.corrupted are final).  Fires at the commit point,
+  /// before the delivery handler runs.
+  virtual void on_deliver(const Message& m, Time t) { (void)m, (void)t; }
+
   /// Output channel (router, out_port) reserved for `msg` (its head won
   /// arbitration) at cycle `t`.
   virtual void on_reserve(int router, int out_port, MsgId msg, Time t) = 0;

@@ -19,10 +19,6 @@ std::string err_at(const char* what, Time cycle, MsgId msg) {
   return s;
 }
 
-// Decision-family salts for the fault substream hash.
-constexpr std::uint64_t kDropSalt = 1;
-constexpr std::uint64_t kCorruptSalt = 2;
-
 }  // namespace
 
 std::string WatchdogReport::to_string() const {
@@ -126,6 +122,7 @@ MsgId Simulator::post(Message m) {
   const MsgId id = messages_.add(m);
   posts_.push(Post{m.ready_time, post_seq_++, id});
   ++undelivered_;
+  if (observer_ != nullptr) observer_->on_post(messages_.at(id), cycle_);
   return id;
 }
 
@@ -278,10 +275,7 @@ void Simulator::transfer(int r) {
         channel_msg_[static_cast<std::size_t>(base) + q] = kInvalidMsg;
         if (observer_ != nullptr) observer_->on_release(r, q, flit.msg, cycle_);
         Message& msg = messages_.at(flit.msg);
-        if (faults_active_ && plan_.corrupt_rate > 0 &&
-            fault_uniform(plan_.seed, kCorruptSalt,
-                          static_cast<std::uint64_t>(flit.msg), 0) <
-                plan_.corrupt_rate) {
+        if (faults_active_ && plan_corrupts(plan_, flit.msg)) {
           msg.corrupted = true;
           ++stats_.messages_corrupted;
         }
@@ -289,6 +283,7 @@ void Simulator::transfer(int r) {
         ++stats_.messages_delivered;
         --undelivered_;
         delivered_now_.push_back(flit.msg);
+        if (observer_ != nullptr) observer_->on_deliver(msg, cycle_);
       }
       continue;
     }
@@ -298,10 +293,8 @@ void Simulator::transfer(int r) {
           err_at(("message routed onto unwired channel " + topo_.channel_name(r, q))
                      .c_str(),
                  cycle_, fifo.front().msg));
-    if (faults_active_ && plan_.drop_rate > 0 && fifo.front().head &&
-        fault_uniform(plan_.seed, kDropSalt,
-                      static_cast<std::uint64_t>(fifo.front().msg),
-                      static_cast<std::uint64_t>(d.router)) < plan_.drop_rate) {
+    if (faults_active_ && fifo.front().head &&
+        plan_drops(plan_, fifo.front().msg, d.router)) {
       // The head is mangled crossing this link; the whole worm is lost
       // (wormhole switching cannot deliver a headless body).
       purge_message(fifo.front().msg, DropReason::kFlitFault);

@@ -1,0 +1,104 @@
+// Chaos harness: seeded random fault scenarios executed under the
+// InvariantAuditor, with automatic delta-debugging of failures down to a
+// minimal reproducer.
+//
+// A scenario is (topology x algorithm x placement x payload x FaultPlan),
+// generated from an RNG substream of (root seed, index) so any scenario
+// can be regenerated in isolation and the whole sweep is bit-identical at
+// any thread fan-out.  On a violation the minimizer greedily strips plan
+// events, rates, and destinations while the violation persists, then
+// serializes the survivor as a `pcmcast --audit` command line whose
+// `--faults` spec (FaultPlan::to_spec) replays it deterministically.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/algorithms.hpp"
+#include "sim/fault.hpp"
+
+namespace pcm::verify {
+
+/// One chaos scenario, fully self-describing and replayable.
+struct ChaosScenario {
+  int index = 0;                  ///< substream index it was generated from
+  std::string topology;           ///< "mesh:S" | "bmin:N"
+  McastAlgorithm alg = McastAlgorithm::kOptMesh;
+  NodeId source = 0;
+  std::vector<NodeId> dests;      ///< execution order (pre-shuffled if any)
+  Bytes bytes = 1024;
+  int max_retries = 3;
+  /// Build the split tree of `alg` over the caller-order chain instead of
+  /// the sorted one — deliberately breaking the Theorem-1/2 precondition.
+  /// The generator never sets this; tests and the auditor's self-check use
+  /// it to prove violations are caught (pcmcast --shuffle-chain replays it).
+  bool shuffle_chain = false;
+  std::uint64_t shuffle_seed = 0;  ///< RNG seed for the dest permutation
+  sim::FaultPlan plan;
+};
+
+/// Deterministically generates scenario `index` of root seed `root_seed`.
+ChaosScenario make_scenario(std::uint64_t root_seed, int index);
+
+struct ScenarioOutcome {
+  bool violated = false;
+  std::string violation;  ///< what() of the violation; empty when clean
+  bool watchdog = false;  ///< the violation was a watchdog expiry
+  double delivered = 1.0;
+  int retries = 0;
+  int repairs = 0;
+  int dropped = 0;
+};
+
+/// Executes one scenario under a strict-as-applicable auditor (contention
+/// freedom demanded for the chain-sorted algorithms on fault-free plans;
+/// under faults retransmissions may legally block).  Uses the same
+/// runtime defaults as `pcmcast`, so reproducers replay bit-exactly.
+ScenarioOutcome run_scenario(const ChaosScenario& s);
+
+/// Applies the scenario's shuffle to a destination list (exposed so the
+/// CLI's --shuffle-chain replays the identical permutation).
+std::vector<NodeId> shuffle_dests(std::vector<NodeId> dests, std::uint64_t seed);
+
+struct MinimizeResult {
+  ChaosScenario scenario;  ///< minimal still-violating scenario
+  std::string violation;   ///< the violation the minimal scenario raises
+  int runs = 0;            ///< scenario executions the search used
+  int removed = 0;         ///< plan events + destinations shed
+};
+
+/// Delta-debugs `s` (which must violate) to a locally minimal scenario:
+/// no single plan event, rate, or destination can be removed without
+/// losing the violation.
+MinimizeResult minimize(const ChaosScenario& s);
+
+/// The `pcmcast` invocation that replays the scenario under --audit.
+std::string repro_command(const ChaosScenario& s);
+
+struct ChaosConfig {
+  int scenarios = 1000;
+  std::uint64_t seed = 42;
+  int jobs = 0;            ///< ThreadPool fan-out; 0 = hardware
+  int max_minimized = 5;   ///< delta-debug at most this many failures
+};
+
+struct ChaosReport {
+  int scenarios = 0;
+  int violations = 0;
+  int watchdogs = 0;
+  long long retries = 0;
+  long long repairs = 0;
+  long long dropped = 0;
+  double mean_delivered = 1.0;
+  std::vector<int> violating_indices;      ///< scenario order
+  std::vector<MinimizeResult> minimized;   ///< first max_minimized failures
+};
+
+/// Runs the sweep (scenario i uses substream i, outcomes aggregated in
+/// index order, so the report is identical at any `jobs`), then minimizes
+/// the first failures serially.  Progress/violations are logged to `log`
+/// when non-null.
+ChaosReport run_chaos(const ChaosConfig& cfg, std::ostream* log = nullptr);
+
+}  // namespace pcm::verify

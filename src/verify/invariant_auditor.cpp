@@ -1,0 +1,326 @@
+#include "verify/invariant_auditor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pcm::verify {
+
+namespace {
+
+std::string make_what(Invariant inv, const std::string& detail, Time cycle,
+                      sim::MsgId msg, int router, int port) {
+  std::ostringstream os;
+  os << "invariant violation [" << invariant_name(inv) << "]: " << detail;
+  if (cycle >= 0) os << " (cycle " << cycle;
+  if (msg != sim::kInvalidMsg) os << (cycle >= 0 ? ", msg " : " (msg ") << msg;
+  if (router >= 0) os << ", channel " << router << ":" << port;
+  if (cycle >= 0 || msg != sim::kInvalidMsg || router >= 0) os << ")";
+  return os.str();
+}
+
+}  // namespace
+
+const char* invariant_name(Invariant inv) {
+  switch (inv) {
+    case Invariant::kConservation: return "conservation";
+    case Invariant::kPhantomDelivery: return "phantom-delivery";
+    case Invariant::kPhantomDrop: return "phantom-drop";
+    case Invariant::kCorruptionMismatch: return "corruption-mismatch";
+    case Invariant::kChannelExclusivity: return "channel-exclusivity";
+    case Invariant::kContentionFreedom: return "contention-freedom";
+    case Invariant::kAckEpoch: return "ack-epoch";
+    case Invariant::kResultConsistency: return "result-consistency";
+    case Invariant::kWatchdogMismatch: return "watchdog-mismatch";
+  }
+  return "?";
+}
+
+InvariantViolation::InvariantViolation(Invariant inv, std::string detail,
+                                       Time cycle, sim::MsgId msg, int router,
+                                       int port)
+    : std::runtime_error(make_what(inv, detail, cycle, msg, router, port)),
+      invariant_(inv),
+      cycle_(cycle),
+      msg_(msg),
+      router_(router),
+      port_(port) {}
+
+bool guarantees_contention_free(McastAlgorithm alg) {
+  return alg == McastAlgorithm::kOptMesh || alg == McastAlgorithm::kUMesh ||
+         alg == McastAlgorithm::kOptMin || alg == McastAlgorithm::kUMin;
+}
+
+InvariantAuditor::InvariantAuditor(const sim::Topology& topo, AuditConfig cfg)
+    : topo_(topo), cfg_(std::move(cfg)), radix_(topo.radix()) {
+  holder_.assign(static_cast<std::size_t>(topo.num_routers()) * radix_,
+                 sim::kInvalidMsg);
+}
+
+std::string InvariantAuditor::chan(int router, int port) const {
+  return topo_.channel_name(router, port);
+}
+
+InvariantAuditor::Ledger& InvariantAuditor::known(sim::MsgId msg, Time t,
+                                                  const char* where) {
+  if (msg < 0 || static_cast<std::size_t>(msg) >= msgs_.size())
+    throw InvariantViolation(Invariant::kPhantomDelivery,
+                             std::string(where) + " for a message never posted", t,
+                             msg);
+  return msgs_[static_cast<std::size_t>(msg)];
+}
+
+void InvariantAuditor::on_post(const sim::Message& m, Time t) {
+  if (m.id != static_cast<sim::MsgId>(msgs_.size()))
+    throw InvariantViolation(Invariant::kConservation,
+                             "post ids must be dense and append-only", t, m.id);
+  if (m.flits < 1)
+    throw InvariantViolation(Invariant::kConservation, "posted message with no flits",
+                             t, m.id);
+  msgs_.emplace_back();
+  ++posted_;
+}
+
+void InvariantAuditor::on_deliver(const sim::Message& m, Time t) {
+  Ledger& led = known(m.id, t, "delivery");
+  if (led.terminal())
+    throw InvariantViolation(Invariant::kPhantomDelivery,
+                             "message delivered twice (or after a drop)", t, m.id);
+  // Payload integrity: the corrupted flag must be exactly the plan's
+  // pure-hash decision — anything else means the payload hash cannot
+  // match what the sender injected.
+  const bool should_corrupt =
+      cfg_.plan_known && sim::plan_corrupts(cfg_.plan, m.id);
+  if (m.corrupted != should_corrupt)
+    throw InvariantViolation(
+        Invariant::kCorruptionMismatch,
+        m.corrupted ? "payload corrupted without a plan decision"
+                    : "plan-corrupted payload delivered clean",
+        t, m.id);
+  if (cfg_.require_contention_free && led.blocked > 0)
+    throw InvariantViolation(
+        Invariant::kContentionFreedom,
+        "delivered message was head-blocked " + std::to_string(led.blocked) +
+            " cycles on a provably contention-free schedule",
+        t, m.id);
+  led.delivered = true;
+  ++delivered_;
+}
+
+void InvariantAuditor::on_reserve(int router, int out_port, sim::MsgId msg, Time t) {
+  Ledger& led = known(msg, t, "reservation");
+  if (led.terminal())
+    throw InvariantViolation(Invariant::kChannelExclusivity,
+                             "terminal message reserved a channel", t, msg, router,
+                             out_port);
+  sim::MsgId& h = holder_[static_cast<std::size_t>(router) * radix_ + out_port];
+  if (h != sim::kInvalidMsg)
+    throw InvariantViolation(Invariant::kChannelExclusivity,
+                             chan(router, out_port) + " reserved while held by msg " +
+                                 std::to_string(h),
+                             t, msg, router, out_port);
+  h = msg;
+}
+
+void InvariantAuditor::on_release(int router, int out_port, sim::MsgId msg, Time t) {
+  (void)known(msg, t, "release");
+  sim::MsgId& h = holder_[static_cast<std::size_t>(router) * radix_ + out_port];
+  if (h != msg)
+    throw InvariantViolation(Invariant::kChannelExclusivity,
+                             chan(router, out_port) + " released by msg " +
+                                 std::to_string(msg) + " but held by msg " +
+                                 std::to_string(h),
+                             t, msg, router, out_port);
+  h = sim::kInvalidMsg;
+}
+
+void InvariantAuditor::on_blocked(int router, int in_port, sim::MsgId msg, Time t) {
+  Ledger& led = known(msg, t, "blocked event");
+  if (led.terminal())
+    throw InvariantViolation(Invariant::kChannelExclusivity,
+                             "terminal message head-blocked", t, msg, router, in_port);
+  ++led.blocked;
+}
+
+void InvariantAuditor::on_drop(sim::MsgId msg, sim::DropReason reason, Time t) {
+  Ledger& led = known(msg, t, "drop");
+  if (led.terminal())
+    throw InvariantViolation(Invariant::kPhantomDrop, "message dropped twice", t, msg);
+  if (reason == sim::DropReason::kNone)
+    throw InvariantViolation(Invariant::kPhantomDrop, "drop without a reason", t, msg);
+  if (!cfg_.plan_known)
+    throw InvariantViolation(Invariant::kPhantomDrop,
+                             std::string("message dropped (") +
+                                 sim::drop_reason_name(reason) +
+                                 ") on a run with no fault plan",
+                             t, msg);
+  // Purge order: every channel the worm held must have been released
+  // before the drop notification.
+  for (std::size_t c = 0; c < holder_.size(); ++c)
+    if (holder_[c] == msg)
+      throw InvariantViolation(Invariant::kChannelExclusivity,
+                               "dropped message still holds " +
+                                   chan(static_cast<int>(c) / radix_,
+                                        static_cast<int>(c) % radix_),
+                               t, msg, static_cast<int>(c) / radix_,
+                               static_cast<int>(c) % radix_);
+  led.dropped = true;
+  ++dropped_;
+}
+
+void InvariantAuditor::on_fault_event(Time t) {
+  if (!cfg_.plan_known)
+    throw InvariantViolation(Invariant::kPhantomDrop,
+                             "fault event applied on a run with no fault plan", t);
+  ++fault_events_;
+}
+
+void InvariantAuditor::on_watchdog(const sim::WatchdogReport& report) {
+  // The forensic report must agree with the ledger: same reservation
+  // table, and every stalled message known and non-terminal.
+  for (const sim::WatchdogReport::Reservation& r : report.reservations) {
+    const std::size_t c = static_cast<std::size_t>(r.router) * radix_ + r.out_port;
+    if (c >= holder_.size() || holder_[c] != r.holder)
+      throw InvariantViolation(Invariant::kWatchdogMismatch,
+                               "report reservation disagrees with ledger at " +
+                                   chan(r.router, r.out_port),
+                               report.cycle, r.holder, r.router, r.out_port);
+  }
+  std::size_t held = 0;
+  for (const sim::MsgId h : holder_) held += (h != sim::kInvalidMsg);
+  if (held != report.reservations.size())
+    throw InvariantViolation(Invariant::kWatchdogMismatch,
+                             "report lists " + std::to_string(report.reservations.size()) +
+                                 " reservations, ledger holds " + std::to_string(held),
+                             report.cycle);
+  for (const sim::WatchdogReport::StalledMessage& s : report.stalled) {
+    Ledger& led = known(s.msg, report.cycle, "watchdog stall entry");
+    if (led.terminal())
+      throw InvariantViolation(Invariant::kWatchdogMismatch,
+                               "report lists a terminal message as stalled",
+                               report.cycle, s.msg);
+  }
+  const int pending = posted_ - delivered_ - dropped_;
+  if (static_cast<int>(report.stalled.size()) != pending)
+    throw InvariantViolation(Invariant::kWatchdogMismatch,
+                             "report stalls " + std::to_string(report.stalled.size()) +
+                                 " messages, ledger has " + std::to_string(pending) +
+                                 " pending",
+                             report.cycle);
+}
+
+void InvariantAuditor::finalize(const sim::Simulator& sim) const {
+  const sim::SimStats& s = sim.stats();
+  // Conservation: injected = delivered + dropped + still-pending, and the
+  // engine's own counters must agree with the independent ledger.
+  if (s.messages_delivered != delivered_)
+    throw InvariantViolation(Invariant::kConservation,
+                             "SimStats delivered " +
+                                 std::to_string(s.messages_delivered) +
+                                 " != ledger " + std::to_string(delivered_));
+  if (s.messages_dropped != dropped_)
+    throw InvariantViolation(Invariant::kConservation,
+                             "SimStats dropped " + std::to_string(s.messages_dropped) +
+                                 " != ledger " + std::to_string(dropped_));
+  const int pending = posted_ - delivered_ - dropped_;
+  if (pending < 0 || (sim.idle() && pending != 0))
+    throw InvariantViolation(Invariant::kConservation,
+                             std::to_string(pending) +
+                                 " messages unaccounted for on an idle network");
+  if (sim.idle()) {
+    for (std::size_t c = 0; c < holder_.size(); ++c)
+      if (holder_[c] != sim::kInvalidMsg)
+        throw InvariantViolation(Invariant::kChannelExclusivity,
+                                 "channel still reserved on an idle network",
+                                 sim.now(), holder_[c],
+                                 static_cast<int>(c) / radix_,
+                                 static_cast<int>(c) % radix_);
+  }
+  if (cfg_.require_contention_free) {
+    for (std::size_t i = 0; i < msgs_.size(); ++i)
+      if (msgs_[i].delivered && msgs_[i].blocked > 0)
+        throw InvariantViolation(Invariant::kContentionFreedom,
+                                 "delivered message was head-blocked " +
+                                     std::to_string(msgs_[i].blocked) + " cycles",
+                                 -1, static_cast<sim::MsgId>(i));
+  }
+}
+
+void InvariantAuditor::audit_result(const rt::McastResult& res) {
+  if (res.expected_dests <= 0) return;  // not a run_reliable result
+  const int k = static_cast<int>(res.recv_complete.size());
+  if (res.expected_dests != k - 1)
+    throw InvariantViolation(Invariant::kResultConsistency,
+                             "expected_dests disagrees with the tree size");
+  int delivered = 0;
+  for (const Time t : res.recv_complete) delivered += (t >= 0);
+  if (res.delivered_dests != delivered)
+    throw InvariantViolation(Invariant::kResultConsistency,
+                             "delivered_dests " + std::to_string(res.delivered_dests) +
+                                 " != " + std::to_string(delivered) +
+                                 " positions with a receive time");
+  if (res.complete != (delivered == res.expected_dests))
+    throw InvariantViolation(Invariant::kResultConsistency,
+                             "complete flag disagrees with delivered count");
+  const double fraction =
+      k > 0 ? static_cast<double>(1 + delivered) / static_cast<double>(k) : 1.0;
+  if (res.delivered_fraction != fraction)
+    throw InvariantViolation(Invariant::kResultConsistency,
+                             "delivered_fraction arithmetic mismatch");
+  if (static_cast<int>(res.dead_nodes.size()) + delivered > res.expected_dests)
+    throw InvariantViolation(
+        Invariant::kResultConsistency,
+        "dead + delivered exceeds the destination count (double-counted ack)");
+  if (!std::is_sorted(res.dead_nodes.begin(), res.dead_nodes.end()) ||
+      std::adjacent_find(res.dead_nodes.begin(), res.dead_nodes.end()) !=
+          res.dead_nodes.end())
+    throw InvariantViolation(Invariant::kResultConsistency,
+                             "dead_nodes not sorted/unique");
+
+  // Ack-epoch audit over the recorded trace.
+  int max_rec = -1;
+  for (const rt::AckEvent& ev : res.ack_trace) max_rec = std::max(max_rec, ev.rec);
+  std::vector<int> last_attempt(static_cast<std::size_t>(max_rec + 1), -1);
+  std::vector<char> acked(static_cast<std::size_t>(max_rec + 1), 0);
+  for (const rt::AckEvent& ev : res.ack_trace) {
+    if (ev.rec < 0)
+      throw InvariantViolation(Invariant::kAckEpoch, "negative record index", ev.t);
+    int& last = last_attempt[static_cast<std::size_t>(ev.rec)];
+    char& got = acked[static_cast<std::size_t>(ev.rec)];
+    if (ev.kind == rt::AckEvent::Kind::kIssue) {
+      if (ev.attempt != last + 1)
+        throw InvariantViolation(Invariant::kAckEpoch,
+                                 "record " + std::to_string(ev.rec) +
+                                     " issued attempt " + std::to_string(ev.attempt) +
+                                     " after attempt " + std::to_string(last) +
+                                     " (epoch not monotonic)",
+                                 ev.t);
+      if (got)
+        throw InvariantViolation(Invariant::kAckEpoch,
+                                 "record " + std::to_string(ev.rec) +
+                                     " re-issued after its ack",
+                                 ev.t);
+      last = ev.attempt;
+    } else {
+      if (last < 0)
+        throw InvariantViolation(Invariant::kAckEpoch,
+                                 "ack for record " + std::to_string(ev.rec) +
+                                     " with no issued attempt",
+                                 ev.t);
+      if (ev.attempt > last)
+        throw InvariantViolation(Invariant::kAckEpoch,
+                                 "ack for attempt " + std::to_string(ev.attempt) +
+                                     " of record " + std::to_string(ev.rec) +
+                                     " which only reached attempt " +
+                                     std::to_string(last),
+                                 ev.t);
+      if (got)
+        throw InvariantViolation(Invariant::kAckEpoch,
+                                 "record " + std::to_string(ev.rec) +
+                                     " acked twice (dropped-ack double count)",
+                                 ev.t);
+      got = 1;
+    }
+  }
+}
+
+}  // namespace pcm::verify

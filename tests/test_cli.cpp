@@ -77,6 +77,28 @@ TEST(CliParse, FaultsAccepted) {
   EXPECT_EQ(o.max_retries, 5);
 }
 
+TEST(CliParse, VerifyFlagsAccepted) {
+  const CliOptions o = parse_args(
+      sv({"--audit", "--allow-partial", "--shuffle-chain", "--source", "5",
+          "--dests", "1,2,3"}));
+  EXPECT_TRUE(o.audit);
+  EXPECT_TRUE(o.allow_partial);
+  EXPECT_TRUE(o.shuffle_chain);
+  EXPECT_EQ(o.source, 5);
+  EXPECT_EQ(o.dests, "1,2,3");
+}
+
+TEST(CliParse, VerifyFlagsValidated) {
+  // --source and --dests come as a pair.
+  EXPECT_THROW(parse_args(sv({"--source", "5"})), std::invalid_argument);
+  EXPECT_THROW(parse_args(sv({"--dests", "1,2"})), std::invalid_argument);
+  // Auditing covers the multicast runtime only.
+  EXPECT_THROW(parse_args(sv({"--audit", "--collective", "reduce"})),
+               std::invalid_argument);
+  EXPECT_THROW(parse_args(sv({"--shuffle-chain", "--collective", "barrier"})),
+               std::invalid_argument);
+}
+
 TEST(CliParse, HelpSkipsValidation) {
   const CliOptions o = parse_args(sv({"--algorithm", "magic", "--help"}));
   EXPECT_TRUE(o.help);
@@ -161,6 +183,7 @@ TEST(CliRun, FaultedExperimentReportsDegradation) {
   o.reps = 2;
   o.jobs = 1;
   o.faults = "node:3@300;seed:1";  // node 3 fail-stops mid-run
+  o.allow_partial = true;          // a dead destination must not fail the run
   std::ostringstream os;
   EXPECT_EQ(run_cli(o, os), 0);
   const std::string out = os.str();
@@ -168,6 +191,60 @@ TEST(CliRun, FaultedExperimentReportsDegradation) {
   EXPECT_NE(out.find("delivered"), std::string::npos);
   EXPECT_NE(out.find("retries"), std::string::npos);
   EXPECT_NE(out.find("repairs"), std::string::npos);
+}
+
+TEST(CliRun, ExplicitPlacementRunsOneRep) {
+  CliOptions o;
+  o.topology = "mesh:8";
+  o.algorithm = "opt-mesh";
+  o.source = 0;
+  o.dests = "9,18,27";
+  o.bytes = 256;
+  std::ostringstream os;
+  EXPECT_EQ(run_cli(o, os), 0);
+  EXPECT_NE(os.str().find("k=4"), std::string::npos);
+  EXPECT_NE(os.str().find("1 reps"), std::string::npos);
+  // Placement nodes must exist in the topology.
+  o.dests = "9,999";
+  std::ostringstream os2;
+  EXPECT_THROW(run_cli(o, os2), std::invalid_argument);
+}
+
+TEST(CliRun, PartialDeliveryFailsUnlessAllowed) {
+  CliOptions o;
+  o.topology = "mesh:8";
+  o.algorithm = "opt-mesh";
+  o.source = 0;
+  o.dests = "1,2,3";
+  o.bytes = 256;
+  o.faults = "node:3@50";  // destination 3 dies before delivery
+  std::ostringstream os;
+  EXPECT_EQ(run_cli(o, os), 1);
+  EXPECT_NE(os.str().find("partial delivery"), std::string::npos);
+  o.allow_partial = true;
+  std::ostringstream os2;
+  EXPECT_EQ(run_cli(o, os2), 0);
+}
+
+TEST(CliRun, AuditCleanRunPassesAndShuffledChainFails) {
+  CliOptions o;
+  o.topology = "mesh:16";
+  o.algorithm = "opt-mesh";
+  o.nodes = 32;
+  o.bytes = 4096;
+  o.reps = 1;
+  o.seed = 7;
+  o.audit = true;
+  std::ostringstream os;
+  EXPECT_EQ(run_cli(o, os), 0) << os.str();
+  EXPECT_NE(os.str().find("audited"), std::string::npos);
+  // The same run over the shuffled caller-order chain loses the Theorem 1
+  // precondition; the auditor objects and the exit code says so.
+  o.shuffle_chain = true;
+  std::ostringstream os2;
+  EXPECT_EQ(run_cli(o, os2), 3);
+  EXPECT_NE(os2.str().find("AUDIT VIOLATION"), std::string::npos);
+  EXPECT_NE(os2.str().find("contention-freedom"), std::string::npos);
 }
 
 TEST(CliRun, CompareListsAllAlgorithms) {

@@ -66,6 +66,32 @@ TEST(FaultPlan, RejectsMalformedSpecs) {
   EXPECT_THROW(sim::FaultPlan::parse("node:1@2;;"), std::invalid_argument);
 }
 
+TEST(FaultPlan, SpecRoundTripsExactly) {
+  // parse(to_spec()) must reproduce the plan bit-for-bit: event order is
+  // preserved, and rates print with shortest-round-trip precision.
+  const char* specs[] = {
+      "link:3,1@100;linkup:3,1@200;node:42@1500;drop:0.001;corrupt:0.01;seed:7",
+      "node:5@10;node:3@2",          // out-of-order events stay as given
+      "drop:0.25",
+      "corrupt:0.33333333333333331",  // 1/3 needs all 17 digits
+      "link:0,1@5",
+  };
+  for (const char* spec : specs) {
+    const auto plan = sim::FaultPlan::parse(spec);
+    const std::string round = plan.to_spec();
+    EXPECT_TRUE(sim::FaultPlan::parse(round) == plan) << spec << " -> " << round;
+  }
+  // An awkward machine-generated rate survives the trip.
+  sim::FaultPlan plan;
+  plan.drop_rate = 0.029975199526285523;
+  plan.corrupt_rate = 1.0 / 3.0;
+  plan.seed = 5007804489792437195u;
+  EXPECT_TRUE(sim::FaultPlan::parse(plan.to_spec()) == plan) << plan.to_spec();
+  // The empty plan serializes to the empty string (parse rejects "",
+  // matching "no --faults flag at all").
+  EXPECT_EQ(sim::FaultPlan{}.to_spec(), "");
+}
+
 TEST(FaultPlan, HashIsDeterministicAndUniform) {
   // Pure function of its inputs; roughly uniform on [0, 1).
   EXPECT_EQ(sim::fault_uniform(1, 2, 3, 4), sim::fault_uniform(1, 2, 3, 4));
@@ -379,6 +405,59 @@ TEST(WatchdogForensics, ReportCarriesStallStateAndDeadlockCycle) {
   EXPECT_EQ(obs.calls, 1);
   EXPECT_FALSE(obs.last.stalled.empty());
   EXPECT_TRUE(sim.stats().watchdog_fired);
+}
+
+TEST(WatchdogForensics, TwoWormDeadlockReportsBothWormsAndTheCycle) {
+  // Two opposing worms on the two-router ring: each holds its local
+  // output channel and waits for the other's — the minimal two-message
+  // wait-for cycle.  The forensic report must name both worms, list both
+  // reservations, and recover the full cycle.
+  RingTopology topo;
+  sim::SimConfig cfg;
+  cfg.fifo_capacity = 2;
+  cfg.watchdog_cycles = 200;
+  sim::Simulator sim(topo, cfg);
+  sim.post(mk(0, 1, 32));
+  sim.post(mk(1, 0, 32));
+  try {
+    sim.run_until_idle();
+    FAIL() << "expected WatchdogError";
+  } catch (const sim::WatchdogError& e) {
+    const sim::WatchdogReport& rep = e.report();
+    ASSERT_EQ(rep.stalled.size(), 2u);
+    EXPECT_EQ(rep.stalled[0].msg, 0);
+    EXPECT_EQ(rep.stalled[1].msg, 1);
+    EXPECT_EQ(rep.reservations.size(), 2u);
+    ASSERT_EQ(rep.deadlock_cycle.size(), 2u);
+    EXPECT_TRUE((rep.deadlock_cycle[0] == 0 && rep.deadlock_cycle[1] == 1) ||
+                (rep.deadlock_cycle[0] == 1 && rep.deadlock_cycle[1] == 0))
+        << "cycle [" << rep.deadlock_cycle[0] << ", " << rep.deadlock_cycle[1]
+        << "]";
+  }
+  EXPECT_TRUE(sim.stats().watchdog_fired);
+}
+
+TEST(WatchdogForensics, StallReportUnderTwoConcurrentGroups) {
+  // Two multicast groups in flight on one mesh, truncated mid-run: the
+  // on-demand stall report must list exactly the pending messages of both
+  // groups, with a reservation table but no deadlock cycle (the traffic
+  // is merely in flight, not wedged).
+  const auto topo = mesh::make_mesh2d(8);
+  sim::Simulator sim(*topo);
+  sim.post(mk(0, 63, 2000));   // group A: corner to corner
+  sim.post(mk(63, 0, 2000));   // group B: the reverse sweep
+  sim.run_until_idle(/*max_cycles=*/50);
+  ASSERT_EQ(sim.run_status(), sim::RunStatus::kTruncated);
+  const sim::WatchdogReport rep = sim.stall_report();
+  ASSERT_EQ(rep.stalled.size(), 2u);
+  EXPECT_EQ(rep.stalled[0].msg, 0);
+  EXPECT_EQ(rep.stalled[1].msg, 1);
+  EXPECT_TRUE(rep.stalled[0].injected);
+  EXPECT_FALSE(rep.reservations.empty());
+  EXPECT_TRUE(rep.deadlock_cycle.empty());
+  // Draining the network clears the report.
+  sim.run_until_idle();
+  EXPECT_TRUE(sim.stall_report().stalled.empty());
 }
 
 TEST(WatchdogForensics, StallReportOnDemandIsCheapAndEmptyWhenIdle) {
