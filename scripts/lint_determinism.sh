@@ -1,0 +1,62 @@
+#!/usr/bin/env sh
+# Determinism lint: every pcm result must be reproducible from the seed.
+#
+# Rejects, anywhere under src/ tools/ bench/ tests/ except the one
+# sanctioned RNG (src/analysis/rng.hpp):
+#   1. ambient-entropy sources: std::random_device, time(nullptr), srand,
+#      C rand()  — results would differ run to run;
+#   2. iteration over unordered containers (hash order is
+#      implementation-defined and salted in some standard libraries);
+#   3. unordered containers in files not on the reviewed allowlist —
+#      membership-only uses are fine, but each new use must be reviewed
+#      for result-affecting iteration and then listed here.
+#
+# Exit code: 0 clean, 1 findings (printed), 2 usage error.
+set -u
+
+cd "$(dirname "$0")/.." || exit 2
+dirs="src tools bench tests"
+fail=0
+
+say() { printf '%s\n' "$*"; }
+
+# 1. Ambient entropy.  rand( must not match substrings like substream_ or
+#    hash-named helpers, hence the leading non-identifier guard.
+hits=$(grep -rnE 'std::random_device|time\(nullptr|[^_[:alnum:]]srand\(|[^_[:alnum:]]rand\(' \
+         $dirs --include='*.cpp' --include='*.hpp' |
+       grep -v 'src/analysis/rng\.hpp')
+if [ -n "$hits" ]; then
+  say "determinism: ambient entropy source (seed every RNG via analysis::Rng / substream_seed):"
+  say "$hits"
+  fail=1
+fi
+
+# 2. Iterating an unordered container (range-for or explicit iterators on
+#    the same line as the type) is order-nondeterministic.
+hits=$(grep -rnE 'for[[:space:]]*\(.*unordered_(map|set)' $dirs \
+         --include='*.cpp' --include='*.hpp')
+if [ -n "$hits" ]; then
+  say "determinism: iteration over an unordered container (hash order is not stable):"
+  say "$hits"
+  fail=1
+fi
+
+# 3. Unordered containers only in reviewed files.  Allowlist entries were
+#    checked to use them for membership/lookup only, never iterated in a
+#    result-affecting path.
+allow='^src/core/chain\.cpp:'
+hits=$(grep -rln 'unordered_\(map\|set\)' $dirs \
+         --include='*.cpp' --include='*.hpp' |
+       sed 's/$/:/' | grep -vE "$allow")
+if [ -n "$hits" ]; then
+  say "determinism: unreviewed unordered-container use (iteration order is"
+  say "implementation-defined; prefer sorted vectors or std::map in result"
+  say "paths, or add the file to the allowlist in this script after review):"
+  say "$hits" | sed 's/:$//'
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  say "determinism lint: clean"
+fi
+exit "$fail"

@@ -1,34 +1,9 @@
 #include "analysis/contention.hpp"
 
 #include <algorithm>
-#include <functional>
 #include <sstream>
 
 namespace pcm::analysis {
-namespace {
-
-struct TimedSend {
-  Time issue;  ///< send operation start
-  Time done;   ///< receiver finishes receiving (issue + t_end)
-};
-
-// Mirrors model_finish_times but records every send's issue time.
-std::vector<TimedSend> timeline(const MulticastTree& tree, TwoParam tp) {
-  std::vector<TimedSend> times(tree.sends.size());
-  std::function<void(int, Time)> visit = [&](int pos, Time t0) {
-    Time issue = t0;
-    for (int idx : tree.out[pos]) {
-      const SendEvent& ev = tree.sends[idx];
-      times[idx] = TimedSend{issue, issue + tp.t_end};
-      visit(ev.receiver_pos, issue + tp.t_end);
-      issue += tp.t_hold;
-    }
-  };
-  visit(tree.chain.source_pos, 0);
-  return times;
-}
-
-}  // namespace
 
 ConflictReport model_conflicts(const MulticastTree& tree, const sim::Topology& topo,
                                TwoParam tp) {
@@ -37,7 +12,7 @@ ConflictReport model_conflicts(const MulticastTree& tree, const sim::Topology& t
 
 ConflictReport model_conflicts(const MulticastTree& tree, const sim::Topology& topo,
                                TwoParam tp, ChannelHold hold) {
-  const std::vector<TimedSend> times = timeline(tree, tp);
+  const std::vector<SendTimes> times = model_send_times(tree, tp);
   // (channel, hop index) per send, channels sorted for the merge below.
   struct Hop {
     sim::ChannelId ch;

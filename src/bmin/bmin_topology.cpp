@@ -11,6 +11,17 @@ namespace {
 constexpr int bit(int v, int i) { return (v >> i) & 1; }
 constexpr int with_bit(int v, int i, int b) { return (v & ~(1 << i)) | (b << i); }
 
+// Up-port bit for UpPolicy::kRandomHash: deterministic per
+// (message, switch) so repeated runs agree and trace_path / append_path
+// match the simulator.
+int hash_up_bit(NodeId src, NodeId dst, int stage, int index) {
+  unsigned h = static_cast<unsigned>(src * 2654435761u) ^
+               static_cast<unsigned>(dst * 40503u) ^
+               static_cast<unsigned>((stage << 8) + index) * 2246822519u;
+  h ^= h >> 13;
+  return static_cast<int>(h & 1);
+}
+
 }  // namespace
 
 BminTopology::BminTopology(int num_nodes, UpPolicy policy)
@@ -65,18 +76,47 @@ void BminTopology::route(int router, int in_port, NodeId src, NodeId dst,
       candidates.push_back(2 + bit(src, i));
       candidates.push_back(2 + (1 - bit(src, i)));
       return;
-    case UpPolicy::kRandomHash: {
-      // Deterministic per (message, switch) so repeated runs agree and
-      // trace_path matches the simulator.
-      unsigned h = static_cast<unsigned>(src * 2654435761u) ^
-                   static_cast<unsigned>(dst * 40503u) ^
-                   static_cast<unsigned>((i << 8) + j) * 2246822519u;
-      h ^= h >> 13;
-      candidates.push_back(2 + static_cast<int>(h & 1));
+    case UpPolicy::kRandomHash:
+      candidates.push_back(2 + hash_up_bit(src, dst, i, j));
       return;
-    }
   }
   throw std::logic_error("BminTopology::route: unknown up policy");
+}
+
+void BminTopology::append_path(NodeId src, NodeId dst,
+                               std::vector<sim::ChannelId>& out) const {
+  if (src == dst) return;
+  // Climb along the first up candidate of the policy (adaptive routing's
+  // first preference is the source-address port) until the switch covers
+  // dst, then descend selecting bit_i(dst); the stage-0 down port is the
+  // ejection channel at dst.
+  int i = 0;
+  int j = src >> 1;
+  while ((j >> i) != (dst >> (i + 1))) {
+    int u = 0;
+    switch (policy_) {
+      case UpPolicy::kSourceAddress:
+      case UpPolicy::kAdaptive:
+        u = bit(src, i);
+        break;
+      case UpPolicy::kDestAddress:
+        u = bit(dst, i);
+        break;
+      case UpPolicy::kRandomHash:
+        u = hash_up_bit(src, dst, i, j);
+        break;
+    }
+    out.push_back(channel_id(router_at(i, j), 2 + u));
+    j = with_bit(j, i, u);
+    ++i;
+  }
+  while (i > 0) {
+    const int c = bit(dst, i);
+    out.push_back(channel_id(router_at(i, j), c));
+    j = with_bit(j, i - 1, c);
+    --i;
+  }
+  out.push_back(channel_id(router_at(0, j), bit(dst, 0)));
 }
 
 std::string BminTopology::channel_name(int router, int out_port) const {

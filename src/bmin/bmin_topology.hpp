@@ -53,6 +53,12 @@ class BminTopology final : public sim::Topology {
              std::vector<int>& candidates) const override;
   [[nodiscard]] std::string channel_name(int router, int out_port) const override;
 
+  /// Closed-form turnaround path enumeration (no per-hop route()
+  /// dispatch); follows the first up candidate of the policy and ends
+  /// with the stage-0 ejection channel at dst.
+  void append_path(NodeId src, NodeId dst,
+                   std::vector<sim::ChannelId>& out) const override;
+
   /// Channel count of the (deterministic) turnaround path: 2t + 1 where
   /// t = msb_diff(src, dst).
   [[nodiscard]] int path_hops(NodeId src, NodeId dst) const;

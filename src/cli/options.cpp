@@ -16,6 +16,7 @@
 #include "analysis/timeline.hpp"
 #include "bmin/bmin_topology.hpp"
 #include "harness/harness.hpp"
+#include "lint/lint.hpp"
 #include "butterfly/butterfly_topology.hpp"
 #include "mesh/mesh_topology.hpp"
 #include "runtime/collectives.hpp"
@@ -111,6 +112,8 @@ CliOptions parse_args(std::span<const std::string_view> args) {
       opt.gantt = true;
     } else if (a == "--audit") {
       opt.audit = true;
+    } else if (a == "--lint") {
+      opt.lint = true;
     } else if (a == "--allow-partial") {
       opt.allow_partial = true;
     } else if (a == "--shuffle-chain") {
@@ -146,6 +149,16 @@ CliOptions parse_args(std::span<const std::string_view> args) {
     if ((opt.audit || opt.shuffle_chain) && opt.collective != "multicast")
       throw std::invalid_argument(
           "pcmcast: --audit/--shuffle-chain require --collective multicast");
+    if (opt.lint && opt.collective != "multicast")
+      throw std::invalid_argument("pcmcast: --lint requires --collective multicast");
+    if (opt.lint && !opt.faults.empty())
+      throw std::invalid_argument(
+          "pcmcast: --lint is a static analysis; it has no fault model "
+          "(drop --faults)");
+    if (opt.lint && opt.audit)
+      throw std::invalid_argument(
+          "pcmcast: pick one of --lint (static) and --audit (dynamic); the "
+          "equivalence tests run both separately");
     if (opt.dests.empty() != (opt.source < 0))
       throw std::invalid_argument(
           "pcmcast: --source and --dests must be given together");
@@ -223,6 +236,10 @@ std::string usage() {
          "  --audit            run under the invariant auditor (conservation,\n"
          "                     channel exclusivity, Thm 1-2 contention freedom,\n"
          "                     ack epochs); a violation prints and exits 3\n"
+         "  --lint             static analysis only: derive every schedule\n"
+         "                     symbolically and interval-check channel holds\n"
+         "                     (no flits simulated); diagnostics exit 1, or 3\n"
+         "                     when a Thm 1-2 guaranteed algorithm is flagged\n"
          "  --source N         explicit source node (requires --dests)\n"
          "  --dests A,B,...    explicit destination list; replaces the sampled\n"
          "                     placements (one rep) — chaos reproducers use this\n"
@@ -240,6 +257,66 @@ std::string usage() {
 
 namespace {
 
+/// Explicit --source/--dests placement (one rep) or --seed-sampled ones;
+/// shared by the dynamic (run_cli) and static (run_lint_cli) drivers.
+std::vector<analysis::Placement> make_placements(const CliOptions& opt,
+                                                 const sim::Topology& topo) {
+  if (opt.dests.empty() && opt.nodes > topo.num_nodes())
+    throw std::invalid_argument("pcmcast: --nodes exceeds topology size");
+  std::vector<analysis::Placement> placements;
+  if (!opt.dests.empty()) {
+    // Explicit placement (chaos reproducers): one rep, exactly as given.
+    analysis::Placement p;
+    p.source = opt.source;
+    std::istringstream is(opt.dests);
+    std::string tok;
+    while (std::getline(is, tok, ','))
+      p.dests.push_back(static_cast<NodeId>(parse_int("--dests", tok)));
+    if (p.dests.empty()) throw std::invalid_argument("pcmcast: empty --dests list");
+    if (p.source < 0 || p.source >= topo.num_nodes())
+      throw std::invalid_argument("pcmcast: --source outside the topology");
+    for (const NodeId d : p.dests)
+      if (d < 0 || d >= topo.num_nodes())
+        throw std::invalid_argument("pcmcast: --dests node outside the topology");
+    placements.push_back(std::move(p));
+    return placements;
+  }
+  return analysis::sample_placements(opt.seed, topo.num_nodes(), opt.nodes,
+                                     opt.reps);
+}
+
+/// --compare expands to every algorithm applicable to the topology.
+std::vector<McastAlgorithm> select_algorithms(const CliOptions& opt,
+                                              const MeshShape* shape) {
+  if (opt.compare) {
+    if (shape != nullptr)
+      return {McastAlgorithm::kOptMesh, McastAlgorithm::kUMesh,
+              McastAlgorithm::kOptTree, McastAlgorithm::kBinomial,
+              McastAlgorithm::kSequential};
+    return {McastAlgorithm::kOptMin, McastAlgorithm::kUMin,
+            McastAlgorithm::kOptTree, McastAlgorithm::kBinomial,
+            McastAlgorithm::kSequential};
+  }
+  const auto alg = algorithm_from_name(opt.algorithm);
+  if (needs_mesh_shape(*alg) && shape == nullptr)
+    throw std::invalid_argument("pcmcast: " + opt.algorithm +
+                                " requires a mesh/hypercube topology");
+  return {*alg};
+}
+
+/// The tree run_one executes, including the --shuffle-chain self-test
+/// variant that deliberately voids the Theorem 1/2 precondition.
+MulticastTree build_cli_tree(const CliOptions& opt, McastAlgorithm alg,
+                             const analysis::Placement& p, TwoParam tp,
+                             const MeshShape* shape) {
+  if (opt.shuffle_chain) {
+    const std::vector<NodeId> dests = verify::shuffle_dests(p.dests, opt.seed);
+    const Chain chain = make_chain(p.source, dests, ChainOrder::kAsGiven);
+    return build_chain_split_tree(chain, split_table_for(alg, tp, chain.size()));
+  }
+  return build_multicast(alg, p.source, p.dests, tp, shape);
+}
+
 struct RunOutcome {
   Time latency = 0;
   Time model = 0;
@@ -256,17 +333,7 @@ RunOutcome run_one(const MeshShape* shape, const rt::CollectiveRuntime& coll,
                    const sim::FaultPlan* plan) {
   const rt::MulticastRuntime& rtm = coll.multicast();
   const TwoParam tp = rtm.config().machine.two_param(rtm.wire_bytes(opt.bytes, 1));
-  MulticastTree tree;
-  if (opt.shuffle_chain) {
-    // Self-test path: the algorithm's split rule over the caller-order
-    // chain of --seed-shuffled destinations, not the sorted chain — the
-    // Theorem 1/2 precondition is void, so --audit should object.
-    const std::vector<NodeId> dests = verify::shuffle_dests(p.dests, opt.seed);
-    const Chain chain = make_chain(p.source, dests, ChainOrder::kAsGiven);
-    tree = build_chain_split_tree(chain, split_table_for(alg, tp, chain.size()));
-  } else {
-    tree = build_multicast(alg, p.source, p.dests, tp, shape);
-  }
+  const MulticastTree tree = build_cli_tree(opt, alg, p, tp, shape);
   std::optional<verify::InvariantAuditor> auditor;
   if (opt.audit) {
     verify::AuditConfig acfg;
@@ -317,51 +384,14 @@ int run_cli(const CliOptions& opt, std::ostream& os) {
     os << usage();
     return 0;
   }
+  if (opt.lint) return run_lint_cli(opt, os);
   const auto topo = make_topology(opt.topology);
   const MeshShape* shape = mesh_shape_of(*topo);
-  if (opt.dests.empty() && opt.nodes > topo->num_nodes())
-    throw std::invalid_argument("pcmcast: --nodes exceeds topology size");
-
-  std::vector<analysis::Placement> placements;
-  if (!opt.dests.empty()) {
-    // Explicit placement (chaos reproducers): one rep, exactly as given.
-    analysis::Placement p;
-    p.source = opt.source;
-    std::istringstream is(opt.dests);
-    std::string tok;
-    while (std::getline(is, tok, ','))
-      p.dests.push_back(static_cast<NodeId>(parse_int("--dests", tok)));
-    if (p.dests.empty()) throw std::invalid_argument("pcmcast: empty --dests list");
-    if (p.source < 0 || p.source >= topo->num_nodes())
-      throw std::invalid_argument("pcmcast: --source outside the topology");
-    for (const NodeId d : p.dests)
-      if (d < 0 || d >= topo->num_nodes())
-        throw std::invalid_argument("pcmcast: --dests node outside the topology");
-    placements.push_back(std::move(p));
-  } else {
-    placements =
-        analysis::sample_placements(opt.seed, topo->num_nodes(), opt.nodes, opt.reps);
-  }
+  std::vector<analysis::Placement> placements = make_placements(opt, *topo);
   const int group_size = opt.dests.empty()
                              ? opt.nodes
                              : static_cast<int>(placements.front().dests.size()) + 1;
-
-  std::vector<McastAlgorithm> algs;
-  if (opt.compare) {
-    if (shape != nullptr) {
-      algs = {McastAlgorithm::kOptMesh, McastAlgorithm::kUMesh, McastAlgorithm::kOptTree,
-              McastAlgorithm::kBinomial, McastAlgorithm::kSequential};
-    } else {
-      algs = {McastAlgorithm::kOptMin, McastAlgorithm::kUMin, McastAlgorithm::kOptTree,
-              McastAlgorithm::kBinomial, McastAlgorithm::kSequential};
-    }
-  } else {
-    const auto alg = algorithm_from_name(opt.algorithm);
-    if (needs_mesh_shape(*alg) && shape == nullptr)
-      throw std::invalid_argument("pcmcast: " + opt.algorithm +
-                                  " requires a mesh/hypercube topology");
-    algs = {*alg};
-  }
+  const std::vector<McastAlgorithm> algs = select_algorithms(opt, shape);
 
   rt::RuntimeConfig cfg;
   rt::CollectiveRuntime coll(cfg);
@@ -495,6 +525,94 @@ int run_cli(const CliOptions& opt, std::ostream& os) {
     return 1;
   }
   return 0;
+}
+
+int run_lint_cli(const CliOptions& opt, std::ostream& os) {
+  if (opt.help) {
+    os << usage();
+    return 0;
+  }
+  const auto topo = make_topology(opt.topology);
+  const MeshShape* shape = mesh_shape_of(*topo);
+  const std::vector<analysis::Placement> placements = make_placements(opt, *topo);
+  const std::vector<McastAlgorithm> algs = select_algorithms(opt, shape);
+  const int group_size = opt.dests.empty()
+                             ? opt.nodes
+                             : static_cast<int>(placements.front().dests.size()) + 1;
+
+  const rt::RuntimeConfig cfg;
+  const sim::SimConfig sim_cfg;
+  const rt::MulticastRuntime rtm(cfg);
+  const TwoParam tp = cfg.machine.two_param(rtm.wire_bytes(opt.bytes, 1));
+  lint::LintOptions lint_opts;
+  lint_opts.keep_schedule = false;  // verdicts and diagnostics only
+
+  os << "pcmlint: " << (opt.compare ? std::string("compare") : opt.algorithm)
+     << " on " << opt.topology << ", k=" << group_size << ", " << opt.bytes
+     << " B, " << placements.size() << " placement(s), seed " << opt.seed
+     << (opt.shuffle_chain ? ", shuffled chain" : "") << " (static, no flits)\n";
+  os << "machine: " << describe(cfg.machine, opt.bytes) << "\n";
+
+  analysis::Table summary({"algorithm", "guarantee", "placements", "clean",
+                           "contention", "deadlock", "pairs", "max makespan"});
+  analysis::Table rows({"algorithm", "rep", "clean", "diagnostics", "makespan"});
+  int exit_code = 0;
+  bool printed_detail = false;
+  for (const McastAlgorithm alg : algs) {
+    const bool guaranteed = verify::guarantees_contention_free(alg);
+    int clean = 0, contended = 0, deadlocked = 0;
+    long long pairs = 0;
+    Time max_makespan = 0;
+    for (size_t i = 0; i < placements.size(); ++i) {
+      const MulticastTree tree =
+          build_cli_tree(opt, alg, placements[i], tp, shape);
+      const lint::LintReport rep =
+          lint::lint_tree(tree, *topo, cfg, sim_cfg, opt.bytes, lint_opts);
+      clean += rep.clean() ? 1 : 0;
+      contended += rep.contention_free ? 0 : 1;
+      deadlocked += rep.deadlock_free ? 0 : 1;
+      for (const lint::LintDiagnostic& d : rep.diagnostics)
+        pairs += d.kind == lint::DiagKind::kContention ? 1 : 0;
+      max_makespan = std::max(max_makespan, rep.makespan);
+      rows.add_row({std::string(algorithm_name(alg)), std::to_string(i),
+                    rep.clean() ? "yes" : "no",
+                    std::to_string(rep.diagnostics.size()),
+                    std::to_string(rep.makespan)});
+      if (!rep.clean()) {
+        exit_code = std::max(exit_code, guaranteed ? 3 : 1);
+        if (!printed_detail) {
+          // Full witness for the first flagged schedule; the summary
+          // table carries the rest.
+          os << "\n" << algorithm_name(alg) << " placement " << i << ": "
+             << rep.describe(tree, *topo) << "\n";
+          printed_detail = true;
+        }
+      }
+    }
+    summary.add_row({std::string(algorithm_name(alg)), guaranteed ? "Thm 1-2" : "-",
+                     std::to_string(placements.size()), std::to_string(clean),
+                     std::to_string(contended), std::to_string(deadlocked),
+                     std::to_string(pairs), std::to_string(max_makespan)});
+  }
+  os << "\n" << summary.to_string();
+
+  if (!opt.csv.empty()) {
+    std::ofstream f(opt.csv);
+    if (!f) throw std::runtime_error("pcmcast: cannot open " + opt.csv);
+    f << rows.to_csv();
+    os << "csv:     " << opt.csv << "\n";
+  }
+  if (!opt.json.empty()) {
+    harness::JsonReport report("pcmlint", 1);
+    report.add_table("summary", opt.csv, summary);
+    report.add_table("per-placement", opt.csv, rows);
+    report.write(opt.json);
+    os << "json:    " << opt.json << "\n";
+  }
+  if (exit_code == 3)
+    os << "pcmlint: GUARANTEE VIOLATION: a Theorem 1-2 algorithm is not "
+          "contention-free on this input\n";
+  return exit_code;
 }
 
 }  // namespace pcm::cli

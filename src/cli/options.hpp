@@ -39,6 +39,7 @@ struct CliOptions {
   bool compare = false;                 ///< run every applicable algorithm
   bool gantt = false;                   ///< print a message Gantt for rep 0
   bool audit = false;                   ///< run under the InvariantAuditor
+  bool lint = false;                    ///< static analysis only (no simulation)
   bool allow_partial = false;           ///< exit 0 despite lost destinations
   bool shuffle_chain = false;           ///< self-test: split an unsorted chain
   bool help = false;
@@ -68,5 +69,14 @@ std::string usage();
 /// destinations and --allow-partial was not given, 3 when --audit caught
 /// an invariant violation.  (2 is the caller's catch-all for errors.)
 int run_cli(const CliOptions& opt, std::ostream& os);
+
+/// Static-analysis driver behind `pcmcast --lint` and the `pcmlint`
+/// binary: derives every (algorithm, placement) schedule symbolically
+/// (lint::lint_tree) without simulating a flit.  Exit codes mirror the
+/// dynamic contract: 0 every schedule certified clean, 1 diagnostics on
+/// an algorithm with no theorem guarantee, 3 when an algorithm covered by
+/// Theorems 1–2 (guarantees_contention_free) is flagged — the same
+/// schedules on which --audit exits 3.  (2 stays the caller's catch-all.)
+int run_lint_cli(const CliOptions& opt, std::ostream& os);
 
 }  // namespace pcm::cli

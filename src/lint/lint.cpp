@@ -1,0 +1,222 @@
+// Overlap scan and channel-dependency deadlock check over the symbolic
+// schedule produced by lint_schedule (schedule.cpp).
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "lint/lint.hpp"
+
+namespace pcm::lint {
+namespace {
+
+/// One channel hold window, flattened for the per-channel sweep.
+struct Hold {
+  sim::ChannelId ch = -1;
+  Time begin = 0;
+  Time end = 0;  ///< half-open: the channel frees at `end`
+  int send = -1;
+};
+
+/// Finds one cycle in the channel-dependency graph (edge c -> c' when
+/// some message's path traverses c' immediately after c) and returns it,
+/// or an empty vector when the graph is acyclic.  Iterative three-color
+/// DFS over the (deduplicated, sorted — deterministic) edge list.
+std::vector<sim::ChannelId> find_channel_cycle(
+    const std::vector<SendWindow>& sched, int num_channels) {
+  std::vector<std::pair<int, int>> edges;
+  for (const SendWindow& w : sched)
+    for (size_t i = 0; i + 1 < w.path.size(); ++i)
+      edges.emplace_back(w.path[i], w.path[i + 1]);
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  // CSR adjacency over channel ids.
+  std::vector<int> head(static_cast<size_t>(num_channels) + 1, 0);
+  for (const auto& [u, v] : edges) head[static_cast<size_t>(u) + 1]++;
+  for (int c = 0; c < num_channels; ++c)
+    head[static_cast<size_t>(c) + 1] += head[static_cast<size_t>(c)];
+  std::vector<int> adj(edges.size());
+  {
+    std::vector<int> cursor(head.begin(), head.end() - 1);
+    for (const auto& [u, v] : edges) adj[static_cast<size_t>(cursor[static_cast<size_t>(u)]++)] = v;
+  }
+
+  enum : char { kWhite = 0, kGray = 1, kBlack = 2 };
+  std::vector<char> color(static_cast<size_t>(num_channels), kWhite);
+  std::vector<int> stack;       // gray path
+  std::vector<int> edge_pos;    // next out-edge to try per stack entry
+  for (int root = 0; root < num_channels; ++root) {
+    if (color[static_cast<size_t>(root)] != kWhite) continue;
+    stack.assign(1, root);
+    edge_pos.assign(1, head[static_cast<size_t>(root)]);
+    color[static_cast<size_t>(root)] = kGray;
+    while (!stack.empty()) {
+      const int u = stack.back();
+      int& pos = edge_pos.back();
+      if (pos == head[static_cast<size_t>(u) + 1]) {
+        color[static_cast<size_t>(u)] = kBlack;
+        stack.pop_back();
+        edge_pos.pop_back();
+        continue;
+      }
+      const int v = adj[static_cast<size_t>(pos++)];
+      if (color[static_cast<size_t>(v)] == kGray) {
+        // Back edge: the cycle is the gray path from v to u, closed by u->v.
+        const auto it = std::find(stack.begin(), stack.end(), v);
+        return {it, stack.end()};
+      }
+      if (color[static_cast<size_t>(v)] == kWhite) {
+        color[static_cast<size_t>(v)] = kGray;
+        stack.push_back(v);
+        edge_pos.push_back(head[static_cast<size_t>(v)]);
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+LintReport lint_tree(const MulticastTree& tree, const sim::Topology& topo,
+                     const rt::RuntimeConfig& cfg, const sim::SimConfig& sim_cfg,
+                     Bytes payload, const LintOptions& opts) {
+  LintReport rep;
+  rep.sends = static_cast<int>(tree.sends.size());
+
+  const std::string structure = check_tree(tree);
+  if (!structure.empty()) {
+    // Timing a malformed tree (double receives, broken intervals) is
+    // meaningless; report the structural defect and stop.
+    rep.structure_ok = false;
+    LintDiagnostic d;
+    d.kind = DiagKind::kStructure;
+    d.detail = structure;
+    rep.diagnostics.push_back(std::move(d));
+    return rep;
+  }
+
+  std::vector<SendWindow> sched =
+      lint_schedule(tree, topo, cfg, sim_cfg, payload, 0);
+  for (const SendWindow& w : sched) rep.makespan = std::max(rep.makespan, w.recv_done);
+
+  // Flatten hold windows and sweep per channel.
+  std::vector<Hold> holds;
+  for (const SendWindow& w : sched)
+    for (size_t i = 0; i < w.path.size(); ++i)
+      holds.push_back(Hold{w.path[i], w.reserve[i], w.reserve[i] + w.flits, w.send});
+  std::sort(holds.begin(), holds.end(), [](const Hold& a, const Hold& b) {
+    if (a.ch != b.ch) return a.ch < b.ch;
+    if (a.begin != b.begin) return a.begin < b.begin;
+    return a.send < b.send;
+  });
+
+  std::vector<LintDiagnostic> contention;
+  constexpr size_t kRawPairCap = 4096;  // verdict stays exact; listing is capped
+  for (size_t lo = 0; lo < holds.size();) {
+    size_t hi = lo;
+    while (hi < holds.size() && holds[hi].ch == holds[lo].ch) ++hi;
+    rep.channels_used++;
+    rep.max_channel_windows =
+        std::max(rep.max_channel_windows, static_cast<int>(hi - lo));
+    for (size_t j = lo; j < hi; ++j) {
+      for (size_t k = j + 1; k < hi && holds[k].begin < holds[j].end; ++k) {
+        rep.contention_free = false;
+        if (contention.size() >= kRawPairCap) continue;
+        LintDiagnostic d;
+        d.kind = DiagKind::kContention;
+        d.send_a = holds[j].send;  // reserves first (ties: lower index)
+        d.send_b = holds[k].send;
+        d.channel = holds[j].ch;
+        d.overlap_begin = holds[k].begin;
+        d.overlap_end = std::min(holds[j].end, holds[k].end);
+        contention.push_back(std::move(d));
+      }
+    }
+    lo = hi;
+  }
+
+  // One diagnostic per send pair, keeping the earliest overlap (that is
+  // the first cycle the simulator charges a blocked head), then order the
+  // listing chronologically.
+  std::sort(contention.begin(), contention.end(),
+            [](const LintDiagnostic& a, const LintDiagnostic& b) {
+              if (a.send_a != b.send_a) return a.send_a < b.send_a;
+              if (a.send_b != b.send_b) return a.send_b < b.send_b;
+              if (a.overlap_begin != b.overlap_begin)
+                return a.overlap_begin < b.overlap_begin;
+              return a.channel < b.channel;
+            });
+  contention.erase(
+      std::unique(contention.begin(), contention.end(),
+                  [](const LintDiagnostic& a, const LintDiagnostic& b) {
+                    return a.send_a == b.send_a && a.send_b == b.send_b;
+                  }),
+      contention.end());
+  std::sort(contention.begin(), contention.end(),
+            [](const LintDiagnostic& a, const LintDiagnostic& b) {
+              if (a.overlap_begin != b.overlap_begin)
+                return a.overlap_begin < b.overlap_begin;
+              if (a.send_a != b.send_a) return a.send_a < b.send_a;
+              return a.send_b < b.send_b;
+            });
+  if (contention.size() > static_cast<size_t>(opts.max_diagnostics))
+    contention.resize(static_cast<size_t>(opts.max_diagnostics));
+  for (LintDiagnostic& d : contention) rep.diagnostics.push_back(std::move(d));
+
+  if (opts.check_deadlock) {
+    std::vector<sim::ChannelId> cycle =
+        find_channel_cycle(sched, topo.num_channels());
+    if (!cycle.empty()) {
+      rep.deadlock_free = false;
+      if (rep.diagnostics.size() < static_cast<size_t>(opts.max_diagnostics)) {
+        LintDiagnostic d;
+        d.kind = DiagKind::kDeadlock;
+        d.cycle = std::move(cycle);
+        rep.diagnostics.push_back(std::move(d));
+      }
+    }
+  }
+
+  if (opts.keep_schedule) rep.schedule = std::move(sched);
+  return rep;
+}
+
+std::string LintReport::describe(const MulticastTree& tree,
+                                 const sim::Topology& topo) const {
+  std::ostringstream os;
+  if (clean()) {
+    os << "clean: " << sends << " send(s), " << channels_used
+       << " channel(s), makespan " << makespan;
+    return os.str();
+  }
+  os << diagnostics.size() << " diagnostic(s)";
+  for (const LintDiagnostic& d : diagnostics) {
+    os << "\n  ";
+    switch (d.kind) {
+      case DiagKind::kStructure:
+        os << "structure: " << d.detail;
+        break;
+      case DiagKind::kContention: {
+        const SendEvent& a = tree.sends[static_cast<size_t>(d.send_a)];
+        const SendEvent& b = tree.sends[static_cast<size_t>(d.send_b)];
+        os << "contention: send#" << d.send_a << " " << tree.node(a.sender_pos)
+           << "->" << tree.node(a.receiver_pos) << " (chain " << a.sender_pos
+           << "->" << a.receiver_pos << ") vs send#" << d.send_b << " "
+           << tree.node(b.sender_pos) << "->" << tree.node(b.receiver_pos)
+           << " (chain " << b.sender_pos << "->" << b.receiver_pos << ") on "
+           << topo.channel_name(d.channel / topo.radix(), d.channel % topo.radix())
+           << " during [" << d.overlap_begin << ", " << d.overlap_end << ")";
+        break;
+      }
+      case DiagKind::kDeadlock: {
+        os << "deadlock: cyclic channel wait:";
+        for (sim::ChannelId c : d.cycle)
+          os << " " << topo.channel_name(c / topo.radix(), c % topo.radix());
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace pcm::lint

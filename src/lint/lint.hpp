@@ -1,0 +1,137 @@
+// Static contention & deadlock analysis of multicast schedules ("pcmlint").
+//
+// Theorems 1 and 2 of the paper are *static* claims: OPT-mesh over the
+// dimension-ordered chain and OPT-min over the lexicographic chain are
+// contention-free by construction.  This analyzer checks such claims
+// symbolically, without simulating a single flit: it derives every
+// message's exact uncontended flit-level timeline from the PCM timing
+// model (software issue, NI injection, per-hop channel reservation and
+// release), expands each hop to its channel via the topology's routing
+// function (Topology::append_path — the same XY / turnaround enumeration
+// the simulator follows), and interval-overlap-checks the channel
+// reservations.  A clean report is a *proof* of contention-freedom for
+// deterministic routing: by induction over cycles the simulator then
+// follows this exact timeline, so no head flit ever finds a channel
+// reserved.  Conversely the earliest reported overlap is the first
+// dynamic block, so for single-candidate routing the static verdict and
+// the simulator + InvariantAuditor verdict coincide (tests enforce both
+// directions on randomized scenarios).  For adaptive or multi-NI-port
+// configurations the analyzer stays *sound* (clean implies clean) but may
+// report false positives, since hardware may route around an overlap.
+//
+// A separate pass builds the channel-dependency graph of all message
+// paths (edge c_i -> c_{i+1} per consecutive path hop) and reports any
+// cycle: a cyclic channel wait is the classic necessary condition for
+// wormhole deadlock.  Dimension-ordered mesh routing and BMIN turnaround
+// routing are acyclic; custom topologies may not be.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/multicast_tree.hpp"
+#include "runtime/mcast_runtime.hpp"
+#include "sim/simulator.hpp"
+#include "sim/topology.hpp"
+
+namespace pcm::lint {
+
+/// Exact uncontended flit-level timeline of one send, derived
+/// symbolically.  Cross-checked field-for-field against the simulator's
+/// Message records and observer events by tests (rd = router_delay,
+/// n = flits, h = path length including the ejection channel):
+///   inject_start = max(ready, NI engine free)
+///   reserve[i]   = inject_start + (i + 1) * rd
+///   channel i is held for [reserve[i], reserve[i] + n)
+///   delivered    = inject_start + h * rd + n - 1
+struct SendWindow {
+  int send = -1;  ///< index into MulticastTree::sends
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  int flits = 0;
+  Time op_start = 0;      ///< send operation starts (software)
+  Time ready = 0;         ///< handed to the NI (op_start + t_send)
+  Time inject_start = 0;  ///< first flit enters the source router
+  Time delivered = 0;     ///< tail flit consumed at dst
+  Time recv_done = 0;     ///< receiver software finishes (delivered + t_recv)
+  std::vector<sim::ChannelId> path;  ///< traversed channels, ejection last
+  std::vector<Time> reserve;         ///< per path hop: head reserves it here
+};
+
+enum class DiagKind {
+  kStructure,   ///< the tree violates check_tree invariants
+  kContention,  ///< two sends hold the same channel at overlapping times
+  kDeadlock,    ///< the channel-dependency graph has a cycle
+};
+
+/// One structured finding.  For kContention, `send_a` issues strictly
+/// first (earlier reserve on the shared channel; ties broken by index)
+/// and [overlap_begin, overlap_end) is the half-open intersection of the
+/// two hold windows — its start is the first cycle the simulator charges
+/// a blocked head.  For kDeadlock, `cycle` lists the channel-wait loop.
+/// For kStructure, `detail` carries the check_tree diagnostic.
+struct LintDiagnostic {
+  DiagKind kind = DiagKind::kContention;
+  int send_a = -1;
+  int send_b = -1;
+  sim::ChannelId channel = -1;
+  Time overlap_begin = 0;
+  Time overlap_end = 0;
+  std::vector<sim::ChannelId> cycle;
+  std::string detail;
+};
+
+struct LintOptions {
+  /// Stop collecting after this many diagnostics (the verdict booleans
+  /// still reflect the full analysis).
+  int max_diagnostics = 64;
+  bool check_deadlock = true;
+  /// Keep the per-send schedule in the report (tests and benches want it;
+  /// sweeps screening thousands of trees may drop it to save memory).
+  bool keep_schedule = true;
+};
+
+struct LintReport {
+  std::vector<LintDiagnostic> diagnostics;
+  std::vector<SendWindow> schedule;  ///< empty unless keep_schedule
+  bool structure_ok = true;
+  bool contention_free = true;
+  bool deadlock_free = true;
+  int sends = 0;
+  int channels_used = 0;       ///< distinct channels any message traverses
+  int max_channel_windows = 0; ///< most hold windows on one channel
+  Time makespan = 0;           ///< last receiver software completion
+
+  /// No diagnostics of any kind: the schedule is certified.
+  [[nodiscard]] bool clean() const {
+    return structure_ok && contention_free && deadlock_free;
+  }
+
+  /// Human-readable rendering of every collected diagnostic.
+  [[nodiscard]] std::string describe(const MulticastTree& tree,
+                                     const sim::Topology& topo) const;
+};
+
+/// Derives the exact uncontended timeline of every send of `tree`
+/// carrying `payload` bytes, mirroring MulticastRuntime::run posting
+/// semantics (per-node software engines spaced t_hold apart, FIFO NI
+/// engine assignment) and the simulator's injection/reservation timing.
+/// Throws std::invalid_argument when sim_cfg.router_delay < 1 (the
+/// simulator's sub-cycle sweep order would decide ties) or when the
+/// FIFO depth cannot sustain a bubble-free pipeline
+/// (fifo_capacity < router_delay + 1), since then the closed-form
+/// windows would understate channel occupancy.
+std::vector<SendWindow> lint_schedule(const MulticastTree& tree,
+                                      const sim::Topology& topo,
+                                      const rt::RuntimeConfig& cfg,
+                                      const sim::SimConfig& sim_cfg,
+                                      Bytes payload, Time t0 = 0);
+
+/// Full static analysis: structure check, schedule derivation, pairwise
+/// channel-overlap scan, and (optionally) the channel-dependency-graph
+/// deadlock check.
+LintReport lint_tree(const MulticastTree& tree, const sim::Topology& topo,
+                     const rt::RuntimeConfig& cfg, const sim::SimConfig& sim_cfg,
+                     Bytes payload, const LintOptions& opts = {});
+
+}  // namespace pcm::lint

@@ -1,0 +1,98 @@
+// Symbolic derivation of the exact uncontended flit-level timeline.
+//
+// This mirrors, cycle for cycle, what MulticastRuntime::run posts and what
+// the simulator then does on a contention-free run:
+//
+//   * software: a node activates when its receive completes; each of its
+//     send engines issues operations t_hold(wire) apart, round-robin, and
+//     a message reaches the NI t_send(wire) after its operation starts;
+//   * NI: released messages drain FIFO over the node's injection engines,
+//     one flit per cycle, so a message starts injecting at
+//     max(ready, engine free) and frees the engine flits cycles later;
+//   * network: the head rests router_delay cycles in every router, so it
+//     reserves path channel i at inject_start + (i+1) * router_delay; body
+//     flits pipeline one per cycle behind it (fifo_capacity >=
+//     router_delay + 1 keeps the pipeline bubble-free), so the channel is
+//     held for exactly `flits` cycles and the tail is consumed at
+//     inject_start + hops * router_delay + flits - 1.
+//
+// Fidelity tests (test_lint.cpp) assert these fields equal the simulator's
+// Message records and the observer-recorded reserve/release events.
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+#include "lint/lint.hpp"
+
+namespace pcm::lint {
+
+std::vector<SendWindow> lint_schedule(const MulticastTree& tree,
+                                      const sim::Topology& topo,
+                                      const rt::RuntimeConfig& cfg,
+                                      const sim::SimConfig& sim_cfg,
+                                      Bytes payload, Time t0) {
+  if (sim_cfg.router_delay < 1)
+    throw std::invalid_argument(
+        "lint_schedule: router_delay must be >= 1 (at 0 the simulator's "
+        "sub-cycle sweep order decides channel hand-offs)");
+  if (sim_cfg.fifo_capacity < sim_cfg.router_delay + 1)
+    throw std::invalid_argument(
+        "lint_schedule: fifo_capacity must be >= router_delay + 1 for a "
+        "bubble-free wormhole pipeline");
+
+  const MachineParams& mp = cfg.machine;
+  const rt::MulticastRuntime runtime(cfg);
+  const int engines = std::max(1, cfg.send_engines);
+  const int ni_ports = topo.ports_per_node();
+  const Time rd = sim_cfg.router_delay;
+
+  std::vector<SendWindow> windows(tree.sends.size());
+
+  // Every node activates exactly once (check_tree guarantees a single
+  // receive), issues all its sends then, and its NI drains them FIFO, so
+  // a tree-order traversal visits sends in dependency order.
+  std::function<void(int, Time)> activate = [&](int pos, Time at) {
+    std::vector<Time> next_op(static_cast<size_t>(engines), at);
+    std::vector<Time> ni_free(static_cast<size_t>(ni_ports), 0);
+    int e = 0;
+    for (int idx : tree.out[pos]) {
+      const SendEvent& ev = tree.sends[idx];
+      const int interval = ev.sub_hi - ev.sub_lo + 1;
+      const Bytes wire = runtime.wire_bytes(payload, interval);
+      const int n = runtime.wire_flits(payload, interval);
+
+      SendWindow& w = windows[idx];
+      w.send = idx;
+      w.src = tree.node(ev.sender_pos);
+      w.dst = tree.node(ev.receiver_pos);
+      w.flits = n;
+      w.op_start = next_op[static_cast<size_t>(e)];
+      w.ready = w.op_start + mp.t_send(wire);
+      next_op[static_cast<size_t>(e)] += mp.t_hold(wire);
+      e = (e + 1) % engines;
+
+      // FIFO NI assignment: all earlier sends of this node were assigned
+      // already (their ready times do not decrease), so this one takes
+      // the earliest-free injection engine once it is ready.
+      size_t p = 0;
+      for (size_t q = 1; q < ni_free.size(); ++q)
+        if (ni_free[q] < ni_free[p]) p = q;
+      w.inject_start = std::max(w.ready, ni_free[p]);
+      ni_free[p] = w.inject_start + n;
+
+      topo.append_path(w.src, w.dst, w.path);
+      w.reserve.resize(w.path.size());
+      for (size_t i = 0; i < w.path.size(); ++i)
+        w.reserve[i] = w.inject_start + static_cast<Time>(i + 1) * rd;
+      w.delivered =
+          w.inject_start + static_cast<Time>(w.path.size()) * rd + n - 1;
+      w.recv_done = w.delivered + mp.t_recv(wire);
+
+      activate(ev.receiver_pos, w.recv_done);
+    }
+  };
+  activate(tree.chain.source_pos, t0);
+  return windows;
+}
+
+}  // namespace pcm::lint

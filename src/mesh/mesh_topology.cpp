@@ -56,6 +56,31 @@ void MeshTopology::route(int router, int /*in_port*/, NodeId /*src*/, NodeId dst
   for (int p = 0; p < nports_; ++p) candidates.push_back(local_port() + p);
 }
 
+void MeshTopology::append_path(NodeId src, NodeId dst,
+                               std::vector<sim::ChannelId>& out) const {
+  if (src == dst) return;
+  const int n = shape_.ndims();
+  const int rad = radix();
+  int cur = src;
+  for (int i = 0; i < n; ++i) {
+    const int d = (order_ == RouteOrder::kHighestFirst) ? n - 1 - i : i;
+    int stride = 1;
+    for (int e = 0; e < d; ++e) stride *= shape_.dim(e);
+    const int want = shape_.digit(dst, d);
+    int cur_digit = shape_.digit(cur, d);
+    if (cur_digit == want) continue;
+    const bool up = want > cur_digit;
+    const int port = 2 * d + (up ? 1 : 0);
+    const int step = up ? stride : -stride;
+    while (cur_digit != want) {
+      out.push_back(cur * rad + port);
+      cur += step;
+      cur_digit += up ? 1 : -1;
+    }
+  }
+  out.push_back(cur * rad + local_port());
+}
+
 std::string MeshTopology::channel_name(int router, int out_port) const {
   std::ostringstream os;
   os << "mesh(";

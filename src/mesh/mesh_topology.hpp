@@ -51,6 +51,11 @@ class MeshTopology final : public sim::Topology {
              std::vector<int>& candidates) const override;
   [[nodiscard]] std::string channel_name(int router, int out_port) const override;
 
+  /// Closed-form dimension-ordered path enumeration (no per-hop route()
+  /// dispatch); ends with ejection channel local0, the first candidate.
+  void append_path(NodeId src, NodeId dst,
+                   std::vector<sim::ChannelId>& out) const override;
+
   /// The XY-routing path length (== Manhattan distance).
   [[nodiscard]] int path_hops(NodeId src, NodeId dst) const {
     return shape_.distance(src, dst);

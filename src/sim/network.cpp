@@ -11,6 +11,11 @@ std::string Topology::channel_name(int router, int out_port) const {
   return os.str();
 }
 
+void Topology::append_path(NodeId src, NodeId dst, std::vector<ChannelId>& out) const {
+  const std::vector<ChannelId> path = trace_path(*this, src, dst);
+  out.insert(out.end(), path.begin(), path.end());
+}
+
 std::vector<ChannelId> trace_path(const Topology& topo, NodeId src, NodeId dst) {
   if (src == dst) return {};
   std::vector<ChannelId> path;

@@ -68,6 +68,16 @@ class Topology {
   /// Human-readable channel name for diagnostics.
   [[nodiscard]] virtual std::string channel_name(int router, int out_port) const;
 
+  /// Appends the channels of the deterministic route (first candidate at
+  /// every hop, ejection channel included) from src to dst — the path the
+  /// simulator takes on an uncontended run.  The base implementation
+  /// walks route() hop by hop; topologies with closed-form routing (mesh
+  /// dimension-order, BMIN turnaround) override it to skip the per-hop
+  /// virtual dispatch, which is the static analyzer's hot loop.
+  /// Overrides must agree with the generic walk (tests enforce this).
+  /// Appends nothing when src == dst.
+  virtual void append_path(NodeId src, NodeId dst, std::vector<ChannelId>& out) const;
+
   [[nodiscard]] ChannelId channel_id(int router, int out_port) const {
     return router * radix() + out_port;
   }

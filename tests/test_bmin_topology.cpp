@@ -116,6 +116,28 @@ TEST(BminTopology, DistinctUpPoliciesCanDiverge) {
   EXPECT_TRUE(diverged);
 }
 
+TEST(BminTopology, ClosedFormPathMatchesGenericWalk) {
+  // The turnaround closed form in append_path must reproduce the
+  // route()-driven walk for every (src, dst) pair under every up-routing
+  // policy (adaptive's deterministic first candidate is the source bit).
+  for (const UpPolicy policy :
+       {UpPolicy::kSourceAddress, UpPolicy::kDestAddress, UpPolicy::kRandomHash,
+        UpPolicy::kAdaptive}) {
+    const auto topo = make_bmin(32, policy);
+    for (NodeId s = 0; s < 32; ++s)
+      for (NodeId d = 0; d < 32; ++d) {
+        std::vector<sim::ChannelId> fast;
+        topo->append_path(s, d, fast);
+        if (s == d) {
+          EXPECT_TRUE(fast.empty());
+          continue;
+        }
+        EXPECT_EQ(fast, sim::trace_path(*topo, s, d))
+            << s << "->" << d << " policy " << static_cast<int>(policy);
+      }
+  }
+}
+
 TEST(BminTopology, ChannelNamesAreDescriptive) {
   const auto topo = make_bmin(16);
   EXPECT_EQ(topo->channel_name(0, 0), "bmin(s0,#0).dn0");

@@ -1,0 +1,621 @@
+// Tests for the static schedule analyzer (src/lint): exact-window
+// fidelity against the flit simulator, the golden shuffled-chain
+// diagnostics (the same pair --audit catches dynamically), the
+// static-vs-simulated equivalence sweep over randomized scenarios, the
+// Theorem 1/2 certification matrix, the channel-dependency deadlock
+// check, and the CLI exit-code contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/rng.hpp"
+#include "analysis/sampling.hpp"
+#include "bmin/bmin_topology.hpp"
+#include "cli/options.hpp"
+#include "core/chain.hpp"
+#include "lint/lint.hpp"
+#include "mesh/mesh_topology.hpp"
+#include "runtime/mcast_runtime.hpp"
+#include "sim/simulator.hpp"
+#include "verify/chaos.hpp"
+#include "verify/invariant_auditor.hpp"
+
+namespace pcm {
+namespace {
+
+using lint::DiagKind;
+using lint::LintDiagnostic;
+using lint::LintReport;
+using lint::SendWindow;
+
+/// Records every channel-level event so lint windows can be checked
+/// against the simulator's ground truth, cycle for cycle.
+class EventRecorder final : public sim::SimObserver {
+ public:
+  explicit EventRecorder(int radix) : radix_(radix) {}
+  struct Ev {
+    sim::ChannelId ch;
+    sim::MsgId msg;
+    Time t;
+  };
+  std::vector<Ev> reserves, releases;
+  std::vector<Ev> blocked;  ///< ch is the *input* channel here
+
+  void on_reserve(int router, int out_port, sim::MsgId msg, Time t) override {
+    reserves.push_back(Ev{router * radix_ + out_port, msg, t});
+  }
+  void on_release(int router, int out_port, sim::MsgId msg, Time t) override {
+    releases.push_back(Ev{router * radix_ + out_port, msg, t});
+  }
+  void on_blocked(int router, int in_port, sim::MsgId msg, Time t) override {
+    blocked.push_back(Ev{router * radix_ + in_port, msg, t});
+  }
+
+ private:
+  int radix_;
+};
+
+MulticastTree tree_for(McastAlgorithm alg, const analysis::Placement& p,
+                       const rt::MulticastRuntime& rtm, Bytes payload,
+                       const MeshShape* shape, bool shuffled,
+                       std::uint64_t seed) {
+  const TwoParam tp = rtm.config().machine.two_param(rtm.wire_bytes(payload, 1));
+  if (shuffled) {
+    const std::vector<NodeId> dests = verify::shuffle_dests(p.dests, seed);
+    const Chain chain = make_chain(p.source, dests, ChainOrder::kAsGiven);
+    return build_chain_split_tree(chain, split_table_for(alg, tp, chain.size()));
+  }
+  return build_multicast(alg, p.source, p.dests, tp, shape);
+}
+
+/// Runs the tree on a fresh simulator; returns its conflict count.
+long long simulate_conflicts(const sim::Topology& topo, const MulticastTree& tree,
+                             const rt::MulticastRuntime& rtm, Bytes payload,
+                             Time* latency = nullptr) {
+  sim::Simulator sim(topo);
+  const rt::McastResult r = rtm.run(sim, tree, payload, 0);
+  if (latency != nullptr) *latency = r.latency;
+  return r.channel_conflicts;
+}
+
+// ---------------------------------------------------------------------------
+// Exact-window fidelity: every symbolic field must equal the simulator's.
+
+void expect_schedule_matches_sim(const sim::Topology& topo,
+                                 const rt::RuntimeConfig& cfg,
+                                 const sim::SimConfig& sim_cfg,
+                                 const MulticastTree& tree, Bytes payload) {
+  const rt::MulticastRuntime rtm(cfg);
+  const std::vector<SendWindow> windows =
+      lint::lint_schedule(tree, topo, cfg, sim_cfg, payload, 0);
+
+  sim::Simulator sim(topo, sim_cfg);
+  EventRecorder rec(topo.radix());
+  sim.set_observer(&rec);
+  const rt::McastResult r = rtm.run(sim, tree, payload, 0);
+  ASSERT_EQ(r.channel_conflicts, 0) << "fidelity needs an uncontended run";
+
+  // Message-level fields, matched through Message::tag == send index.
+  for (const sim::Message& m : sim.messages().all()) {
+    ASSERT_GE(m.tag, 0);
+    const SendWindow& w = windows.at(static_cast<size_t>(m.tag));
+    EXPECT_EQ(m.src, w.src);
+    EXPECT_EQ(m.dst, w.dst);
+    EXPECT_EQ(m.flits, w.flits);
+    EXPECT_EQ(m.ready_time, w.ready) << "send " << m.tag;
+    EXPECT_EQ(m.inject_start, w.inject_start) << "send " << m.tag;
+    EXPECT_EQ(m.delivered, w.delivered) << "send " << m.tag;
+  }
+
+  // Channel-level events: the simulator's reserve/release sequence per
+  // message must be exactly (path[i], reserve[i]) and the release must
+  // come flits-1 cycles later (the channel frees *after* that cycle, so
+  // the hold window is [reserve, reserve + flits)).
+  std::map<sim::MsgId, std::vector<EventRecorder::Ev>> by_msg;
+  for (const EventRecorder::Ev& e : rec.reserves) by_msg[e.msg].push_back(e);
+  for (const sim::Message& m : sim.messages().all()) {
+    const SendWindow& w = windows.at(static_cast<size_t>(m.tag));
+    const std::vector<EventRecorder::Ev>& evs = by_msg[m.id];
+    ASSERT_EQ(evs.size(), w.path.size()) << "send " << m.tag;
+    for (size_t i = 0; i < evs.size(); ++i) {
+      EXPECT_EQ(evs[i].ch, w.path[i]) << "send " << m.tag << " hop " << i;
+      EXPECT_EQ(evs[i].t, w.reserve[i]) << "send " << m.tag << " hop " << i;
+    }
+  }
+  std::map<sim::MsgId, std::vector<EventRecorder::Ev>> rel_by_msg;
+  for (const EventRecorder::Ev& e : rec.releases) rel_by_msg[e.msg].push_back(e);
+  for (const sim::Message& m : sim.messages().all()) {
+    const SendWindow& w = windows.at(static_cast<size_t>(m.tag));
+    const std::vector<EventRecorder::Ev>& evs = rel_by_msg[m.id];
+    ASSERT_EQ(evs.size(), w.path.size()) << "send " << m.tag;
+    for (size_t i = 0; i < evs.size(); ++i) {
+      EXPECT_EQ(evs[i].ch, w.path[i]) << "send " << m.tag << " hop " << i;
+      EXPECT_EQ(evs[i].t, w.reserve[i] + w.flits - 1)
+          << "send " << m.tag << " hop " << i;
+    }
+  }
+  EXPECT_TRUE(rec.blocked.empty());
+}
+
+TEST(LintFidelity, OptMeshWindowsMatchSimulator) {
+  mesh::MeshTopology topo(MeshShape::square2d(8));
+  const rt::RuntimeConfig cfg;
+  const rt::MulticastRuntime rtm(cfg);
+  const auto placements = analysis::sample_placements(41, 64, 24, 3);
+  for (const analysis::Placement& p : placements) {
+    const MulticastTree tree =
+        tree_for(McastAlgorithm::kOptMesh, p, rtm, 4096, &topo.shape(), false, 0);
+    expect_schedule_matches_sim(topo, cfg, sim::SimConfig{}, tree, 4096);
+  }
+}
+
+TEST(LintFidelity, OptMinWindowsMatchSimulator) {
+  bmin::BminTopology topo(64);
+  const rt::RuntimeConfig cfg;
+  const rt::MulticastRuntime rtm(cfg);
+  const auto placements = analysis::sample_placements(42, 64, 20, 3);
+  for (const analysis::Placement& p : placements) {
+    const MulticastTree tree =
+        tree_for(McastAlgorithm::kOptMin, p, rtm, 1024, nullptr, false, 0);
+    expect_schedule_matches_sim(topo, cfg, sim::SimConfig{}, tree, 1024);
+  }
+}
+
+TEST(LintFidelity, HoldsAtHigherRouterDelay) {
+  mesh::MeshTopology topo(MeshShape::square2d(6));
+  const rt::RuntimeConfig cfg;
+  const rt::MulticastRuntime rtm(cfg);
+  sim::SimConfig sim_cfg;
+  sim_cfg.router_delay = 2;  // fifo_capacity 4 >= rd + 1 keeps it bubble-free
+  const auto placements = analysis::sample_placements(43, 36, 12, 2);
+  for (const analysis::Placement& p : placements) {
+    const MulticastTree tree =
+        tree_for(McastAlgorithm::kOptMesh, p, rtm, 512, &topo.shape(), false, 0);
+    expect_schedule_matches_sim(topo, cfg, sim_cfg, tree, 512);
+  }
+}
+
+TEST(LintFidelity, OddFlitCountsAndHypercube) {
+  mesh::MeshTopology topo(MeshShape::hypercube(4));
+  const rt::RuntimeConfig cfg;
+  const rt::MulticastRuntime rtm(cfg);
+  const auto placements = analysis::sample_placements(44, 16, 10, 2);
+  for (const analysis::Placement& p : placements) {
+    for (const Bytes payload : {Bytes{0}, Bytes{100}, Bytes{4097}}) {
+      const MulticastTree tree = tree_for(McastAlgorithm::kOptMesh, p, rtm,
+                                          payload, &topo.shape(), false, 0);
+      expect_schedule_matches_sim(topo, cfg, sim::SimConfig{}, tree, payload);
+    }
+  }
+}
+
+TEST(LintSchedule, RejectsUnanalyzableSimConfigs) {
+  mesh::MeshTopology topo(MeshShape::square2d(4));
+  const rt::RuntimeConfig cfg;
+  const rt::MulticastRuntime rtm(cfg);
+  const auto placements = analysis::sample_placements(45, 16, 4, 1);
+  const MulticastTree tree =
+      tree_for(McastAlgorithm::kOptMesh, placements[0], rtm, 64, &topo.shape(),
+               false, 0);
+  sim::SimConfig zero_delay;
+  zero_delay.router_delay = 0;
+  EXPECT_THROW(lint::lint_schedule(tree, topo, cfg, zero_delay, 64),
+               std::invalid_argument);
+  sim::SimConfig shallow;
+  shallow.router_delay = 4;
+  shallow.fifo_capacity = 4;  // < rd + 1: pipeline would bubble
+  EXPECT_THROW(lint::lint_schedule(tree, topo, cfg, shallow, 64),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Golden diagnostics: a shuffled-chain OPT-mesh schedule must be flagged,
+// naming the same contention the dynamic run exhibits.
+
+TEST(LintGolden, ShuffledChainOptMeshFlagsTheDynamicPair) {
+  mesh::MeshTopology topo(MeshShape::square2d(16));
+  const rt::RuntimeConfig cfg;
+  const rt::MulticastRuntime rtm(cfg);
+  const std::uint64_t seed = 1997;
+  const auto placements = analysis::sample_placements(seed, 256, 16, 1);
+  const MulticastTree tree = tree_for(McastAlgorithm::kOptMesh, placements[0],
+                                      rtm, 4096, &topo.shape(), true, seed);
+
+  const LintReport rep =
+      lint::lint_tree(tree, topo, cfg, sim::SimConfig{}, 4096);
+  ASSERT_FALSE(rep.contention_free);
+  ASSERT_FALSE(rep.diagnostics.empty());
+  const LintDiagnostic& first = rep.diagnostics.front();
+  ASSERT_EQ(first.kind, DiagKind::kContention);
+  EXPECT_LT(first.overlap_begin, first.overlap_end);
+
+  // Dynamic ground truth: the first blocked head the simulator records
+  // must be exactly the statically predicted pair, at exactly the
+  // predicted first overlap cycle, wanting the predicted channel.
+  sim::Simulator sim(topo);
+  EventRecorder rec(topo.radix());
+  sim.set_observer(&rec);
+  const rt::McastResult r = rtm.run(sim, tree, 4096, 0);
+  ASSERT_GT(r.channel_conflicts, 0);
+  ASSERT_FALSE(rec.blocked.empty());
+  const EventRecorder::Ev& b = rec.blocked.front();
+  EXPECT_EQ(b.t, first.overlap_begin);
+  EXPECT_EQ(sim.messages().at(b.msg).tag, first.send_b);
+
+  // --audit parity: the auditor's contention-freedom violation names a
+  // message the static analyzer flagged too.
+  sim::Simulator audited(topo);
+  verify::AuditConfig acfg;
+  acfg.require_contention_free = true;
+  verify::InvariantAuditor auditor(audited.topology(), acfg);
+  audited.set_observer(&auditor);
+  try {
+    (void)rtm.run(audited, tree, 4096, 0);
+    auditor.finalize(audited);
+    FAIL() << "auditor should have objected to the shuffled chain";
+  } catch (const verify::InvariantViolation& v) {
+    const int flagged_send = audited.messages().at(v.msg()).tag;
+    bool statically_flagged = false;
+    for (const LintDiagnostic& d : rep.diagnostics)
+      if (d.send_a == flagged_send || d.send_b == flagged_send)
+        statically_flagged = true;
+    EXPECT_TRUE(statically_flagged)
+        << "audit flagged send " << flagged_send
+        << " which lint did not mention";
+  }
+
+  // The rendering names the pair, the channel, and the window.
+  const std::string text = rep.describe(tree, topo);
+  EXPECT_NE(text.find("contention: send#"), std::string::npos);
+  EXPECT_NE(text.find("mesh("), std::string::npos);
+  EXPECT_NE(text.find("during ["), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence sweep: on deterministic single-candidate routing the static
+// verdict must equal the dynamic one — both directions, so in particular
+// zero false negatives — over >= 200 randomized scenarios.
+
+TEST(LintEquivalence, StaticVerdictMatchesSimulatorOn200Scenarios) {
+  struct TopoCase {
+    std::unique_ptr<sim::Topology> topo;
+    const MeshShape* shape;
+  };
+  std::vector<TopoCase> topos;
+  {
+    auto m8 = std::make_unique<mesh::MeshTopology>(MeshShape::square2d(8));
+    const MeshShape* s8 = &m8->shape();
+    topos.push_back(TopoCase{std::move(m8), s8});
+    auto m16 = std::make_unique<mesh::MeshTopology>(MeshShape::square2d(16));
+    const MeshShape* s16 = &m16->shape();
+    topos.push_back(TopoCase{std::move(m16), s16});
+    auto hc = std::make_unique<mesh::MeshTopology>(MeshShape::hypercube(5));
+    const MeshShape* shc = &hc->shape();
+    topos.push_back(TopoCase{std::move(hc), shc});
+    topos.push_back(TopoCase{std::make_unique<bmin::BminTopology>(32), nullptr});
+    topos.push_back(TopoCase{std::make_unique<bmin::BminTopology>(64), nullptr});
+    topos.push_back(TopoCase{
+        std::make_unique<bmin::BminTopology>(32, bmin::UpPolicy::kDestAddress),
+        nullptr});
+    topos.push_back(TopoCase{
+        std::make_unique<bmin::BminTopology>(32, bmin::UpPolicy::kRandomHash),
+        nullptr});
+  }
+  const std::vector<McastAlgorithm> mesh_algs = {
+      McastAlgorithm::kOptMesh, McastAlgorithm::kUMesh, McastAlgorithm::kOptTree,
+      McastAlgorithm::kBinomial, McastAlgorithm::kSequential};
+  const std::vector<McastAlgorithm> min_algs = {
+      McastAlgorithm::kOptMin, McastAlgorithm::kUMin, McastAlgorithm::kOptTree,
+      McastAlgorithm::kBinomial, McastAlgorithm::kSequential};
+  const std::vector<Bytes> payloads = {64, 1024, 4096};
+
+  const rt::RuntimeConfig cfg;
+  const rt::MulticastRuntime rtm(cfg);
+  analysis::Rng rng(20260806);
+  int contended = 0, clean = 0;
+  for (int scenario = 0; scenario < 200; ++scenario) {
+    const TopoCase& tc = topos[rng.below(topos.size())];
+    const auto& algs = tc.shape != nullptr ? mesh_algs : min_algs;
+    const McastAlgorithm alg = algs[rng.below(algs.size())];
+    const int n = tc.topo->num_nodes();
+    const int k = 2 + static_cast<int>(rng.below(
+                          static_cast<std::uint64_t>(std::min(23, n - 1))));
+    const Bytes payload = payloads[rng.below(payloads.size())];
+    const bool shuffled = rng.below(2) == 1;
+    const auto placements =
+        analysis::sample_placements(rng.next(), n, k, 1);
+    const MulticastTree tree =
+        tree_for(alg, placements[0], rtm, payload, tc.shape, shuffled, rng.next());
+
+    const LintReport rep =
+        lint::lint_tree(tree, *tc.topo, cfg, sim::SimConfig{}, payload);
+    ASSERT_TRUE(rep.structure_ok);
+    ASSERT_TRUE(rep.deadlock_free);
+
+    Time latency = 0;
+    const long long conflicts =
+        simulate_conflicts(*tc.topo, tree, rtm, payload, &latency);
+    EXPECT_EQ(rep.contention_free, conflicts == 0)
+        << "scenario " << scenario << ": alg " << algorithm_name(alg) << " k="
+        << k << " payload=" << payload << (shuffled ? " shuffled" : " sorted")
+        << " static=" << (rep.contention_free ? "clean" : "contended")
+        << " dynamic conflicts=" << conflicts;
+    if (rep.contention_free) {
+      // On certified-clean schedules the symbolic makespan is the exact
+      // simulated latency.
+      EXPECT_EQ(rep.makespan, latency) << "scenario " << scenario;
+      ++clean;
+    } else {
+      ++contended;
+    }
+  }
+  // The sweep must exercise both verdicts to mean anything.
+  EXPECT_GT(contended, 10);
+  EXPECT_GT(clean, 10);
+}
+
+// Multi-NI-port / multi-engine configurations: the analyzer stays sound
+// (a clean report still implies a conflict-free run) even though its
+// verdict may be conservative.
+TEST(LintEquivalence, SoundOnMultiportConfigs) {
+  mesh::MeshTopology topo(MeshShape::square2d(8), mesh::RouteOrder::kHighestFirst,
+                          2);
+  rt::RuntimeConfig cfg;
+  cfg.send_engines = 2;
+  const rt::MulticastRuntime rtm(cfg);
+  const auto placements = analysis::sample_placements(46, 64, 16, 8);
+  for (const analysis::Placement& p : placements) {
+    const MulticastTree tree =
+        tree_for(McastAlgorithm::kOptMesh, p, rtm, 1024, &topo.shape(), false, 0);
+    const LintReport rep =
+        lint::lint_tree(tree, topo, cfg, sim::SimConfig{}, 1024);
+    if (rep.contention_free) {
+      EXPECT_EQ(simulate_conflicts(topo, tree, rtm, 1024), 0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 1/2 certification: the tuned algorithms must come out clean for
+// every tested k on the paper's networks.
+
+TEST(LintCertification, OptMeshAndUMeshCleanOn16x16ForAllK) {
+  mesh::MeshTopology topo(MeshShape::square2d(16));
+  const rt::RuntimeConfig cfg;
+  const rt::MulticastRuntime rtm(cfg);
+  lint::LintOptions opts;
+  opts.keep_schedule = false;
+  for (const int k : {2, 3, 4, 8, 16, 32, 64, 128, 256}) {
+    const auto placements =
+        analysis::sample_placements(1000 + static_cast<std::uint64_t>(k), 256, k, 3);
+    for (const analysis::Placement& p : placements) {
+      for (const McastAlgorithm alg :
+           {McastAlgorithm::kOptMesh, McastAlgorithm::kUMesh}) {
+        const MulticastTree tree =
+            tree_for(alg, p, rtm, 4096, &topo.shape(), false, 0);
+        const LintReport rep =
+            lint::lint_tree(tree, topo, cfg, sim::SimConfig{}, 4096, opts);
+        EXPECT_TRUE(rep.clean())
+            << algorithm_name(alg) << " k=" << k << ": "
+            << rep.describe(tree, topo);
+      }
+    }
+  }
+}
+
+TEST(LintCertification, OptMinAndUMinCleanOn64NodeBminForAllK) {
+  bmin::BminTopology topo(64);
+  const rt::RuntimeConfig cfg;
+  const rt::MulticastRuntime rtm(cfg);
+  lint::LintOptions opts;
+  opts.keep_schedule = false;
+  for (const int k : {2, 3, 4, 8, 16, 32, 64}) {
+    const auto placements =
+        analysis::sample_placements(2000 + static_cast<std::uint64_t>(k), 64, k, 3);
+    for (const analysis::Placement& p : placements) {
+      for (const McastAlgorithm alg :
+           {McastAlgorithm::kOptMin, McastAlgorithm::kUMin}) {
+        const MulticastTree tree = tree_for(alg, p, rtm, 4096, nullptr, false, 0);
+        const LintReport rep =
+            lint::lint_tree(tree, topo, cfg, sim::SimConfig{}, 4096, opts);
+        EXPECT_TRUE(rep.clean())
+            << algorithm_name(alg) << " k=" << k << ": "
+            << rep.describe(tree, topo);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock: a unidirectional ring's wrap-around traffic creates a cyclic
+// channel dependency, which the lint flags statically and the simulator's
+// watchdog confirms dynamically (with concurrently active messages).
+
+/// N routers in a unidirectional ring, one node each.  Out-port 0 chases
+/// the ring, out-port 1 is the local ejection channel.
+class RingTopology final : public sim::Topology {
+ public:
+  explicit RingTopology(int n) : n_(n) {}
+  [[nodiscard]] int num_routers() const override { return n_; }
+  [[nodiscard]] int radix() const override { return 2; }
+  [[nodiscard]] int num_nodes() const override { return n_; }
+  [[nodiscard]] sim::PortRef link(int router, int out_port) const override {
+    if (out_port != 0) return {};
+    return sim::PortRef{(router + 1) % n_, 0};
+  }
+  [[nodiscard]] sim::PortRef node_attach(NodeId n) const override {
+    return sim::PortRef{static_cast<int>(n), 1};
+  }
+  [[nodiscard]] NodeId ejector(int router, int out_port) const override {
+    return out_port == 1 ? router : kInvalidNode;
+  }
+  void route(int router, int /*in_port*/, NodeId /*src*/, NodeId dst,
+             std::vector<int>& candidates) const override {
+    candidates.push_back(router == dst ? 1 : 0);
+  }
+
+ private:
+  int n_;
+};
+
+TEST(LintDeadlock, FlagsCyclicChannelWaitOnRing) {
+  RingTopology topo(4);
+  // Hand-built multicast tree over chain [0, 2, 1, 3] whose three sends
+  // (0->2, 2->1, 1->3) jointly traverse every ring channel with a
+  // wrap-around (2->1 passes through router 0), closing the dependency
+  // cycle c0 -> c1 -> c2 -> c3 -> c0.
+  MulticastTree tree;
+  tree.chain.nodes = {0, 2, 1, 3};
+  tree.chain.source_pos = 0;
+  tree.sends = {SendEvent{0, 1, 0, 1, 3}, SendEvent{1, 2, 0, 2, 3},
+                SendEvent{2, 3, 0, 3, 3}};
+  tree.out = {{0}, {1}, {2}, {}};
+  ASSERT_EQ(check_tree(tree), "");
+
+  const rt::RuntimeConfig cfg;
+  const LintReport rep = lint::lint_tree(tree, topo, cfg, sim::SimConfig{}, 64);
+  EXPECT_FALSE(rep.deadlock_free);
+  ASSERT_FALSE(rep.diagnostics.empty());
+  const LintDiagnostic& d = rep.diagnostics.back();
+  ASSERT_EQ(d.kind, DiagKind::kDeadlock);
+  // The cycle is exactly the four ring channels (router * 2 + port 0).
+  std::vector<sim::ChannelId> cyc = d.cycle;
+  std::sort(cyc.begin(), cyc.end());
+  EXPECT_EQ(cyc, (std::vector<sim::ChannelId>{0, 2, 4, 6}));
+  EXPECT_NE(rep.describe(tree, topo).find("cyclic channel wait"),
+            std::string::npos);
+}
+
+TEST(LintDeadlock, SimulatorWatchdogConfirmsTheRingCycle) {
+  // The dynamic counterpart: four concurrently active wrap-around
+  // messages (i -> i+2) realize the cyclic wait the lint predicts, and
+  // the watchdog fires.
+  RingTopology topo(4);
+  sim::SimConfig cfg;
+  cfg.fifo_capacity = 2;
+  cfg.watchdog_cycles = 300;
+  sim::Simulator sim(topo, cfg);
+  for (NodeId i = 0; i < 4; ++i) {
+    sim::Message m;
+    m.src = i;
+    m.dst = (i + 2) % 4;
+    m.flits = 16;  // long enough to hold the first channel while blocked
+    m.ready_time = 0;
+    sim.post(m);
+  }
+  EXPECT_THROW(sim.run_until_idle(), sim::WatchdogError);
+}
+
+TEST(LintDeadlock, PaperTopologiesAreAcyclic) {
+  // XY and turnaround routing must never produce a channel-dependency
+  // cycle — the certification tests assert clean(), but make the
+  // deadlock half explicit here on the biggest schedules.
+  const rt::RuntimeConfig cfg;
+  const rt::MulticastRuntime rtm(cfg);
+  mesh::MeshTopology mtopo(MeshShape::square2d(16));
+  const auto mp = analysis::sample_placements(47, 256, 256, 1);
+  const MulticastTree mtree =
+      tree_for(McastAlgorithm::kOptMesh, mp[0], rtm, 4096, &mtopo.shape(), false, 0);
+  EXPECT_TRUE(
+      lint::lint_tree(mtree, mtopo, cfg, sim::SimConfig{}, 4096).deadlock_free);
+
+  bmin::BminTopology btopo(64);
+  const auto bp = analysis::sample_placements(48, 64, 64, 1);
+  const MulticastTree btree =
+      tree_for(McastAlgorithm::kOptMin, bp[0], rtm, 4096, nullptr, false, 0);
+  EXPECT_TRUE(
+      lint::lint_tree(btree, btopo, cfg, sim::SimConfig{}, 4096).deadlock_free);
+}
+
+// ---------------------------------------------------------------------------
+// Structure diagnostics.
+
+TEST(LintStructure, MalformedTreeIsReportedNotTimed) {
+  mesh::MeshTopology topo(MeshShape::square2d(4));
+  MulticastTree tree;
+  tree.chain.nodes = {0, 1, 2};
+  tree.chain.source_pos = 0;
+  // Position 2 is never received; position 1 is received twice.
+  tree.sends = {SendEvent{0, 1, 0, 1, 2}, SendEvent{0, 1, 1, 1, 2}};
+  tree.out = {{0, 1}, {}, {}};
+  const rt::RuntimeConfig cfg;
+  const LintReport rep = lint::lint_tree(tree, topo, cfg, sim::SimConfig{}, 64);
+  EXPECT_FALSE(rep.structure_ok);
+  EXPECT_FALSE(rep.clean());
+  ASSERT_EQ(rep.diagnostics.size(), 1u);
+  EXPECT_EQ(rep.diagnostics[0].kind, DiagKind::kStructure);
+  EXPECT_NE(rep.describe(tree, topo).find("structure:"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// CLI: exit-code contract of `pcmcast --lint` / `pcmlint`.
+
+cli::CliOptions lint_options(const std::string& topology,
+                             const std::string& algorithm, int nodes, int reps) {
+  cli::CliOptions opt;
+  opt.topology = topology;
+  opt.algorithm = algorithm;
+  opt.nodes = nodes;
+  opt.reps = reps;
+  opt.lint = true;
+  return opt;
+}
+
+TEST(LintCli, CleanGuaranteedScheduleExitsZero) {
+  std::ostringstream os;
+  EXPECT_EQ(cli::run_lint_cli(lint_options("mesh:16", "opt-mesh", 32, 4), os), 0);
+  EXPECT_NE(os.str().find("pcmlint:"), std::string::npos);
+  EXPECT_NE(os.str().find("Thm 1-2"), std::string::npos);
+}
+
+TEST(LintCli, ShuffledGuaranteedScheduleExitsThree) {
+  cli::CliOptions opt = lint_options("mesh:16", "opt-mesh", 16, 2);
+  opt.shuffle_chain = true;
+  std::ostringstream os;
+  EXPECT_EQ(cli::run_lint_cli(opt, os), 3);
+  EXPECT_NE(os.str().find("GUARANTEE VIOLATION"), std::string::npos);
+  EXPECT_NE(os.str().find("contention: send#"), std::string::npos);
+}
+
+TEST(LintCli, ShuffledUnguaranteedScheduleExitsOne) {
+  cli::CliOptions opt = lint_options("mesh:16", "binomial", 64, 8);
+  opt.shuffle_chain = true;
+  std::ostringstream os;
+  const int rc = cli::run_lint_cli(opt, os);
+  EXPECT_EQ(rc, 1) << os.str();
+}
+
+TEST(LintCli, RunCliRoutesLintFlag) {
+  cli::CliOptions opt = lint_options("bmin:64", "opt-min", 16, 2);
+  std::ostringstream os;
+  EXPECT_EQ(cli::run_cli(opt, os), 0);
+  EXPECT_NE(os.str().find("pcmlint:"), std::string::npos);
+  EXPECT_NE(os.str().find("static, no flits"), std::string::npos);
+}
+
+TEST(LintCli, ParseRejectsContradictoryModes) {
+  using sv = std::string_view;
+  {
+    const std::vector<sv> args = {"--lint", "--audit"};
+    EXPECT_THROW((void)cli::parse_args(args), std::invalid_argument);
+  }
+  {
+    const std::vector<sv> args = {"--lint", "--faults", "node:3@100"};
+    EXPECT_THROW((void)cli::parse_args(args), std::invalid_argument);
+  }
+  {
+    const std::vector<sv> args = {"--lint", "--collective", "reduce"};
+    EXPECT_THROW((void)cli::parse_args(args), std::invalid_argument);
+  }
+  {
+    const std::vector<sv> args = {"--lint"};
+    EXPECT_TRUE(cli::parse_args(args).lint);
+  }
+}
+
+}  // namespace
+}  // namespace pcm

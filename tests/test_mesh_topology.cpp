@@ -161,5 +161,32 @@ TEST(MeshTopology, RejectsBadPortCount) {
       std::invalid_argument);
 }
 
+TEST(MeshTopology, ClosedFormPathMatchesGenericWalk) {
+  // append_path is the static analyzer's hot loop; its closed-form
+  // XY enumeration must agree channel-for-channel with the generic
+  // route()-driven walk on every pair, for both route orders, for
+  // hypercubes, and with multi-port ejection.
+  const MeshTopology topos[] = {
+      MeshTopology(MeshShape::square2d(5)),
+      MeshTopology(MeshShape::square2d(5), RouteOrder::kLowestFirst),
+      MeshTopology(MeshShape::hypercube(4)),
+      MeshTopology(MeshShape({3, 4, 2})),
+      MeshTopology(MeshShape::square2d(4), RouteOrder::kHighestFirst,
+                   /*nports=*/2),
+  };
+  for (const MeshTopology& topo : topos) {
+    for (NodeId s = 0; s < topo.num_nodes(); ++s)
+      for (NodeId d = 0; d < topo.num_nodes(); ++d) {
+        std::vector<sim::ChannelId> fast;
+        topo.append_path(s, d, fast);
+        if (s == d) {
+          EXPECT_TRUE(fast.empty());
+          continue;
+        }
+        EXPECT_EQ(fast, sim::trace_path(topo, s, d)) << s << "->" << d;
+      }
+  }
+}
+
 }  // namespace
 }  // namespace pcm::mesh
