@@ -1,0 +1,133 @@
+// E18 — simulator kernel scale sweep: cycle-driven reference engine vs
+// the hybrid event-driven kernel (--engine event) on topologies far past
+// the paper's 16x16 mesh — a 64x64 mesh (4096 nodes) and BMINs up to
+// 4096 ports, with multicast groups of k >= 1024.
+//
+// Each configuration runs the identical seeded placements under both
+// engines, asserts the SimStats are bit-identical (the equivalence
+// contract, enforced here on workloads far larger than the unit tests),
+// and reports simulated cycles, wall-clock, delivered messages/second,
+// and the event/cycle speedup.  Runs are timed serially (one simulator
+// at a time) so the wall-clock comparison is not confounded by the
+// thread pool.
+#include <chrono>
+#include <iostream>
+
+#include "bmin/bmin_topology.hpp"
+#include "harness/harness.hpp"
+#include "mesh/mesh_topology.hpp"
+
+using namespace pcm;
+using namespace pcm::harness;
+
+namespace {
+
+struct EngineRun {
+  long long cycles = 0;    ///< simulated cycles, summed over placements
+  long long delivered = 0; ///< messages delivered, summed over placements
+  double wall_s = 0;
+  sim::SimStats last;      ///< stats of the last placement (equivalence check)
+};
+
+EngineRun run_engine(const sim::Topology& topo, const MeshShape* shape,
+                     const rt::MulticastRuntime& rtm, McastAlgorithm alg,
+                     std::span<const analysis::Placement> placements,
+                     Bytes payload, sim::EngineKind engine) {
+  EngineRun out;
+  const auto start = std::chrono::steady_clock::now();
+  for (const analysis::Placement& p : placements) {
+    sim::Simulator sim(topo, sim::SimConfig{.engine = engine});
+    (void)rtm.run_algorithm(sim, alg, p.source, p.dests, payload, shape);
+    out.cycles += sim.stats().cycles;
+    out.delivered += sim.stats().messages_delivered;
+    out.last = sim.stats();
+  }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start;
+  out.wall_s = wall.count();
+  return out;
+}
+
+bool same_stats(const sim::SimStats& a, const sim::SimStats& b) {
+  return a.cycles == b.cycles && a.flit_hops == b.flit_hops &&
+         a.channel_conflicts == b.channel_conflicts &&
+         a.messages_delivered == b.messages_delivered &&
+         a.max_inflight_flits == b.max_inflight_flits &&
+         a.undelivered == b.undelivered;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Harness h("bench_scale", argc, argv);
+  rt::RuntimeConfig cfg;
+  rt::MulticastRuntime rtm(cfg);
+  const Bytes size = 4096;
+  const int reps = 2;  // runs are large; placements stay paired across engines
+
+  h.preamble(
+      "E18: simulator kernel scale sweep — cycle vs event engine on "
+      "large topologies",
+      cfg, size, reps);
+  h.set_meta("engine", "both");
+
+  struct Config {
+    std::string label;
+    std::unique_ptr<sim::Topology> topo;
+    const MeshShape* shape;
+    McastAlgorithm alg;
+    int nodes;
+    int k;
+  };
+  std::vector<Config> configs;
+  {
+    auto m32 = mesh::make_mesh2d(32);
+    const MeshShape* s32 = &m32->shape();
+    configs.push_back({"mesh 32x32 OPT-Mesh k=256", std::move(m32), s32,
+                       McastAlgorithm::kOptMesh, 1024, 256});
+    auto m64 = mesh::make_mesh2d(64);
+    const MeshShape* s64 = &m64->shape();
+    configs.push_back({"mesh 64x64 OPT-Mesh k=1024", std::move(m64), s64,
+                       McastAlgorithm::kOptMesh, 4096, 1024});
+    configs.push_back({"bmin 1024 OPT-MIN k=256",
+                       bmin::make_bmin(1024, bmin::UpPolicy::kAdaptive),
+                       nullptr, McastAlgorithm::kOptMin, 1024, 256});
+    configs.push_back({"bmin 4096 OPT-MIN k=1024",
+                       bmin::make_bmin(4096, bmin::UpPolicy::kAdaptive),
+                       nullptr, McastAlgorithm::kOptMin, 4096, 1024});
+  }
+
+  analysis::Table t({"config", "cycles", "cycle wall s", "event wall s",
+                     "cycle msg/s", "event msg/s", "speedup"});
+  bool diverged = false;
+  for (const Config& c : configs) {
+    const auto placements =
+        analysis::sample_placements(kSeed + c.k, c.nodes, c.k, reps);
+    const EngineRun cyc = run_engine(*c.topo, c.shape, rtm, c.alg, placements,
+                                     size, sim::EngineKind::kCycle);
+    const EngineRun evt = run_engine(*c.topo, c.shape, rtm, c.alg, placements,
+                                     size, sim::EngineKind::kEvent);
+    if (!same_stats(cyc.last, evt.last)) {
+      std::cerr << "bench_scale: ENGINE DIVERGENCE on " << c.label << "\n";
+      diverged = true;
+    }
+    auto rate = [](const EngineRun& r) {
+      return r.wall_s > 0 ? static_cast<double>(r.delivered) / r.wall_s : 0.0;
+    };
+    t.add_row({c.label, std::to_string(cyc.cycles),
+               analysis::Table::num(cyc.wall_s, 3),
+               analysis::Table::num(evt.wall_s, 3),
+               analysis::Table::num(rate(cyc), 0),
+               analysis::Table::num(rate(evt), 0),
+               analysis::Table::num(
+                   evt.wall_s > 0 ? cyc.wall_s / evt.wall_s : 0.0, 1)});
+  }
+  h.report(t, "E18 (cycle vs event engine, identical results)",
+           "scale_sweep.csv");
+
+  std::cout << "\nExpectation: the contention-free schedules (Theorems 1-2) "
+               "stay laminar end-to-end, so the event engine touches only "
+               "reserve/release/delivery cycles and the speedup grows with "
+               "topology size; results are bit-identical by construction.\n";
+  return diverged ? 1 : 0;
+}

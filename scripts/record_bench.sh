@@ -1,0 +1,103 @@
+#!/usr/bin/env sh
+# Records the simulator's perf trajectory into BENCH_sim.json.
+#
+# Full mode (default):
+#   scripts/record_bench.sh [BUILD_DIR]
+# runs the tracked benches — bench_fig2_mesh_msgsize and
+# bench_fig3_mesh_nodes under the event engine, bench_lint, and the E18
+# scale sweep (cycle vs event head-to-head; simulated cycles, wall-clock,
+# messages/second, per-engine speedup) — each with --json, and composes
+# the reports into BENCH_sim.json at the repo root.  Commit the file to
+# track perf across commits.
+#
+# Smoke mode:
+#   scripts/record_bench.sh --smoke [BUILD_DIR]
+# runs only bench_fig2_mesh_msgsize (16x16 mesh) under both engines and
+# fails (exit 1) if the event engine is not at least as fast as the
+# cycle engine — the CI perf gate.  Each engine gets `runs` attempts and
+# the best wall time is compared, so scheduler noise cannot flake the
+# gate.
+#
+# Exit code: 0 success, 1 perf regression (smoke) or bench failure,
+# 2 usage / missing binaries.
+set -u
+
+smoke=0
+if [ "${1:-}" = "--smoke" ]; then
+  smoke=1
+  shift
+fi
+build="${1:-build}"
+
+cd "$(dirname "$0")/.." || exit 2
+if [ ! -x "$build/bench/bench_fig2_mesh_msgsize" ]; then
+  echo "record_bench: $build/bench/bench_fig2_mesh_msgsize not found;" \
+       "build first (cmake -B build -S . && cmake --build build -j)" >&2
+  exit 2
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# Extracts the "wall_seconds" field from a bench JSON report.
+wall_of() {
+  sed -n 's/.*"wall_seconds": \([0-9.eE+-]*\).*/\1/p' "$1"
+}
+
+if [ "$smoke" -eq 1 ]; then
+  runs=3
+  best_cycle=""
+  best_event=""
+  for engine in cycle event; do
+    best=""
+    i=0
+    while [ "$i" -lt "$runs" ]; do
+      i=$((i + 1))
+      "$build/bench/bench_fig2_mesh_msgsize" --jobs 1 --engine "$engine" \
+          --json "$tmp/fig2_$engine.json" >/dev/null || exit 1
+      w="$(wall_of "$tmp/fig2_$engine.json")"
+      if [ -z "$best" ] || awk "BEGIN{exit !($w < $best)}"; then
+        best="$w"
+      fi
+    done
+    if [ "$engine" = cycle ]; then best_cycle="$best"; else best_event="$best"; fi
+  done
+  echo "record_bench smoke: fig2 16x16 best-of-$runs" \
+       "cycle=${best_cycle}s event=${best_event}s"
+  if awk "BEGIN{exit !($best_event <= $best_cycle)}"; then
+    echo "record_bench smoke: OK (event engine is not slower than cycle)"
+    exit 0
+  fi
+  echo "record_bench smoke: FAIL — event engine slower than the cycle" \
+       "reference on the 16x16 fig2 workload" >&2
+  exit 1
+fi
+
+run() {
+  name="$1"
+  shift
+  echo "record_bench: $name $*"
+  "$build/bench/$name" "$@" --json "$tmp/$name.json" >/dev/null || exit 1
+}
+
+run bench_fig2_mesh_msgsize --engine event
+run bench_fig3_mesh_nodes --engine event
+run bench_lint
+run bench_scale
+
+out=BENCH_sim.json
+{
+  printf '{\n'
+  printf '  "suite": "record_bench",\n'
+  printf '  "benches": [\n'
+  first=1
+  for name in bench_fig2_mesh_msgsize bench_fig3_mesh_nodes bench_lint \
+              bench_scale; do
+    [ "$first" -eq 1 ] || printf ',\n'
+    first=0
+    # Each report is already a JSON object; indent it two spaces.
+    sed 's/^/  /' "$tmp/$name.json" | sed '${/^[[:space:]]*$/d}'
+  done
+  printf '\n  ]\n}\n'
+} > "$out"
+echo "record_bench: wrote $out"

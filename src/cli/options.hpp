@@ -16,6 +16,7 @@
 #include <string_view>
 
 #include "core/algorithms.hpp"
+#include "sim/simulator.hpp"
 #include "sim/topology.hpp"
 
 namespace pcm::cli {
@@ -33,6 +34,8 @@ struct CliOptions {
   std::string faults;                   ///< fault plan spec (see FaultPlan::parse)
   int max_retries = 3;                  ///< fault-tolerant runtime retry budget
   int jobs = 0;                         ///< worker threads; 0 = hardware
+  /// --engine cycle|event: simulator kernel (results are bit-identical).
+  sim::EngineKind engine = sim::EngineKind::kCycle;
   int source = -1;                      ///< explicit source node (with --dests)
   std::string dests;                    ///< explicit comma-separated destinations
   bool probe = false;                   ///< measure (t_hold, t_end) first

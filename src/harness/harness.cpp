@@ -36,6 +36,16 @@ Options parse_options(std::span<const char* const> args) {
       opt.json_path = std::string(value());
       if (opt.json_path.empty() || opt.json_path.substr(0, 2) == "--")
         throw std::invalid_argument("--json expects a file path");
+    } else if (a == "--engine") {
+      const std::string_view v = value();
+      if (v == "cycle") {
+        opt.engine = sim::EngineKind::kCycle;
+      } else if (v == "event") {
+        opt.engine = sim::EngineKind::kEvent;
+      } else {
+        throw std::invalid_argument("--engine expects 'cycle' or 'event', got '" +
+                                    std::string(v) + "'");
+      }
     } else if (a == "--faults") {
       opt.faults = std::string(value());
       try {
@@ -61,6 +71,9 @@ std::string bench_usage(const std::string& bench_name) {
          "               (default: one per hardware thread; 1 = serial;\n"
          "               results are bit-identical at any job count)\n"
          "  --json FILE  also write tables + wall-clock as JSON\n"
+         "  --engine E   simulator kernel: 'cycle' (reference) or 'event'\n"
+         "               (hybrid event-driven fast-forward; bit-identical\n"
+         "               results, much faster on large topologies)\n"
          "  --faults SPEC  fault plan for fault-aware benches (clauses\n"
          "               link:R,P@C | node:N@C | drop:RATE | corrupt:RATE |\n"
          "               seed:S, ';'-separated); others ignore it\n"
@@ -103,6 +116,16 @@ void append_string_array(std::string& out, const std::vector<std::string>& xs) {
 
 }  // namespace
 
+void JsonReport::set_meta(const std::string& key, const std::string& value) {
+  for (auto& [k, v] : meta_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  meta_.emplace_back(key, value);
+}
+
 void JsonReport::add_table(const std::string& title, const std::string& csv_path,
                            const analysis::Table& table) {
   entries_.push_back(Entry{title, csv_path, table.headers(), table.rows()});
@@ -113,6 +136,12 @@ std::string JsonReport::to_json() const {
   out += "{\n  \"bench\": ";
   append_escaped(out, name_);
   out += ",\n  \"jobs\": " + std::to_string(jobs_);
+  for (const auto& [key, value] : meta_) {
+    out += ",\n  ";
+    append_escaped(out, key);
+    out += ": ";
+    append_escaped(out, value);
+  }
   {
     std::ostringstream ws;
     ws << wall_seconds_;
@@ -150,12 +179,18 @@ void JsonReport::write(const std::string& path) const {
 
 // --- Harness ------------------------------------------------------------
 
+std::string engine_name(sim::EngineKind engine) {
+  return engine == sim::EngineKind::kEvent ? "event" : "cycle";
+}
+
 Harness::Harness(std::string bench_name, const Options& opt)
     : bench_name_(std::move(bench_name)),
       opt_(opt),
       pool_(opt.jobs),
       json_(bench_name_, pool_.jobs()),
-      start_(std::chrono::steady_clock::now()) {}
+      start_(std::chrono::steady_clock::now()) {
+  json_.set_meta("engine", engine_name(opt_.engine));
+}
 
 namespace {
 
@@ -206,7 +241,7 @@ Point Harness::run_point(const sim::Topology& topo, const MeshShape* shape,
   const std::size_t n = placements.size();
   std::vector<double> lat(n), model(n), conflicts(n);
   pool_.parallel_for(n, [&](std::size_t i) {
-    sim::Simulator sim(topo);
+    sim::Simulator sim(topo, sim_config());
     const rt::McastResult res = rtm.run_algorithm(
         sim, alg, placements[i].source, placements[i].dests, payload, shape);
     lat[i] = static_cast<double>(res.latency);
@@ -230,7 +265,8 @@ void Harness::preamble(const std::string& what, const rt::RuntimeConfig& cfg,
             << "machine: " << describe(cfg.machine, ref_bytes) << "\n"
             << "reps/point: " << reps << " random placements (seed " << kSeed
             << "), wormhole flit-level simulation\n"
-            << "jobs:    " << jobs() << "\n";
+            << "jobs:    " << jobs() << "\n"
+            << "engine:  " << engine_name(opt_.engine) << "\n";
 }
 
 void Harness::report(const analysis::Table& t, const std::string& title,

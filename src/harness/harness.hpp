@@ -48,8 +48,13 @@ struct Options {
   int jobs = 0;           ///< --jobs N; 0 = one per hardware thread
   std::string json_path;  ///< --json FILE; empty = no JSON report
   std::string faults;     ///< --faults SPEC; validated FaultPlan spec
+  /// --engine cycle|event; which simulator kernel drives every run.
+  sim::EngineKind engine = sim::EngineKind::kCycle;
   bool help = false;
 };
+
+/// Canonical spelling for reports ("cycle" / "event").
+std::string engine_name(sim::EngineKind engine);
 
 /// Parses bench arguments (excluding argv[0]); throws
 /// std::invalid_argument on unknown options or bad values.
@@ -67,6 +72,9 @@ class JsonReport {
   void add_table(const std::string& title, const std::string& csv_path,
                  const analysis::Table& table);
   void set_wall_seconds(double s) { wall_seconds_ = s; }
+  /// Extra top-level string fields (e.g. "engine": "event"); insertion
+  /// order is preserved in the output.
+  void set_meta(const std::string& key, const std::string& value);
 
   [[nodiscard]] std::string to_json() const;
   /// Writes to `path`; throws std::runtime_error if the file cannot be
@@ -83,6 +91,7 @@ class JsonReport {
   std::string name_;
   int jobs_ = 1;
   double wall_seconds_ = 0;
+  std::vector<std::pair<std::string, std::string>> meta_;
   std::vector<Entry> entries_;
 };
 
@@ -99,6 +108,19 @@ class Harness {
   [[nodiscard]] ThreadPool& pool() { return pool_; }
   [[nodiscard]] int jobs() const { return pool_.jobs(); }
   [[nodiscard]] const Options& options() const { return opt_; }
+
+  /// Simulator configuration honouring --engine; benches with custom run
+  /// loops should construct their Simulators from this.
+  [[nodiscard]] sim::SimConfig sim_config() const {
+    sim::SimConfig cfg;
+    cfg.engine = opt_.engine;
+    return cfg;
+  }
+
+  /// Records an extra top-level field in the JSON report.
+  void set_meta(const std::string& key, const std::string& value) {
+    json_.set_meta(key, value);
+  }
 
   /// Runs `alg` over the given placements (one Simulator per placement,
   /// fanned out over the pool) and summarizes in placement order.

@@ -22,14 +22,14 @@ class FlitFifo {
   FlitFifo() = default;
   explicit FlitFifo(int capacity);
 
-  [[nodiscard]] int capacity() const { return capacity_; }
-  [[nodiscard]] int size() const { return size_; }
-  [[nodiscard]] bool empty() const { return size_ == 0; }
-  [[nodiscard]] bool full() const { return size_ == capacity_; }
+  [[nodiscard]] int capacity() const noexcept { return capacity_; }
+  [[nodiscard]] int size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == capacity_; }
 
   /// Oldest flit; FIFO must be non-empty.
-  [[nodiscard]] const Flit& front() const { return slots_[head_].flit; }
-  [[nodiscard]] Time front_entry() const { return slots_[head_].entry; }
+  [[nodiscard]] const Flit& front() const noexcept { return slots_[head_].flit; }
+  [[nodiscard]] Time front_entry() const noexcept { return slots_[head_].entry; }
 
   void push(const Flit& f, Time now);
   Flit pop(Time now);
@@ -50,7 +50,7 @@ class FlitFifo {
   /// in the same cycle has not yet freed its slot for same-cycle pushes
   /// (one-cycle credit turnaround).  Each FIFO has a single writer, so at
   /// most one push per cycle can ask.
-  [[nodiscard]] bool can_accept(Time now) const {
+  [[nodiscard, gnu::always_inline]] bool can_accept(Time now) const noexcept {
     return size_ + (last_pop_ == now ? 1 : 0) < capacity_;
   }
 

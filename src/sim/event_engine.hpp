@@ -1,0 +1,184 @@
+// Hybrid event-driven kernel behind SimConfig::engine == kEvent.
+//
+// Insight (DESIGN.md §6.5): while worm flow is *laminar* — every head
+// flit wins arbitration on the first cycle it is residency-eligible —
+// the cycle engine's behaviour is fully determined by a handful of
+// per-worm anchor times.  With R = router_delay, F = flits, t0 = the
+// cycle the first flit enters the attach FIFO, and a_k = the cycle hop
+// k's output channel is reserved:
+//
+//     a_k = t0 + (k + 1) * R                     (a_{-1} := t0)
+//     flit i enters hop-k's FIFO at a_{k-1} + i and pops at a_k + i
+//     hop k's channel releases at a_k + F - 1
+//     delivery (= release of the ejection hop) at a_{h-1} + F - 1
+//
+// so the only *observable* cycles are reserves, releases, deliveries,
+// NI pulls, and injection completions — everything in between is silent
+// flit streaming.  The engine therefore keeps an event calendar keyed by
+// cycle (deterministic tie-break, with per-phase sorts that mirror the
+// cycle engine's sweep orders) and executes event cycles only.
+//
+// Laminarity is self-sustaining: the only way a worm can deviate from
+// the closed forms is to lose an arbitration, and at that very cycle the
+// engine *materializes* the exact cycle-engine microstate (FIFO contents
+// with historical entry times, channel reservations, NI engine state,
+// rotating-arbiter positions reconstructed from activity intervals) and
+// permanently hands this Simulator to the cycle engine — which then
+// replays the contended cycle itself, emitting on_blocked / conflict
+// accounting at exactly the cycle the reference engine would.  Fault
+// plans and router_delay < 1 skip event mode entirely.  The result is
+// bit-identical SimStats, delivery times, observer streams, and watchdog
+// reports on every workload, with event-speed execution on the
+// contention-free schedules the paper's theorems produce.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace pcm::sim {
+
+class EventEngine {
+ public:
+  /// Binds to `sim`; the engine reads and writes the simulator's own
+  /// state (posts, NIC queues, channel holders, stats) so that shared
+  /// structures never diverge between the two engines.
+  explicit EventEngine(Simulator& sim);
+
+  /// Processes the next event cycle.  Returns true when an event cycle
+  /// was executed; returns false when the engine instead materialized
+  /// the flit-level microstate and disabled itself (blocked head,
+  /// truncation at max_cycles, or defensive bail) — the caller's loop
+  /// then continues with the cycle engine from an exact state.
+  bool advance(Time max_cycles);
+
+  /// Settles lazily-accounted statistics (flit hops, in-flight peaks) up
+  /// to the last executed cycle; call when run_until_idle exits while
+  /// event mode is still active.
+  void finish_run();
+
+  /// Materializes the microstate at the current cycle and permanently
+  /// disables event mode, so external inspection (stall_report) sees the
+  /// same network the cycle engine would show.
+  void bail_out();
+
+  /// True while worms are mid-flight (materialization would be needed
+  /// for the router state to be inspectable).
+  [[nodiscard]] bool live() const { return !live_.empty(); }
+
+  /// After a materializing advance(): the count of trailing progress-free
+  /// cycles the reference engine would have accumulated, so the caller
+  /// can seed its watchdog stall counter bit-identically.
+  [[nodiscard]] Time handoff_stalled() const { return handoff_stalled_; }
+
+ private:
+  /// One committed channel reservation of a worm.
+  struct Hop {
+    int router = -1;
+    int in_port = -1;
+    int out_port = -1;
+    Time reserve = -1;  ///< a_k: cycle the channel was reserved
+  };
+
+  /// A message whose injection has started (queued messages live in the
+  /// simulator's own NIC queues until then).
+  struct Worm {
+    MsgId id = kInvalidMsg;
+    int flits = 0;
+    Time t0 = -1;           ///< first flit entered the attach FIFO
+    Time eject_start = -1;  ///< ejection reserve: consumption begins
+    bool ejecting = false;  ///< last committed hop is the ejection channel
+    int nic_engine = -1;    ///< node * ports_per_node + engine index
+    PortRef head_at;        ///< input FIFO currently holding the head
+    std::vector<Hop> hops;
+    long long hops_settled = 0;  ///< flit pops already added to stats_
+  };
+
+  /// Rotating-arbiter reconstruction: the cycle engine bumps rr_start
+  /// once per cycle a router has non-zero activity, and a laminar worm
+  /// contributes activity to hop k's router exactly over
+  /// [a_{k-1} + 1, a_k + F - 1].  A refcount over these intervals,
+  /// flushed in event order, yields the exact bump count at any cycle.
+  struct RrAcct {
+    long long accum = 0;  ///< active cycles before `since`
+    Time since = 0;
+    int refcnt = 0;
+  };
+
+  enum class Ev : int {
+    kArb = 0,         ///< head residency-eligible: arbitration
+    kXfer = 1,        ///< tail pops a hop: release (+ delivery if ejection)
+    kInjectDone = 2,  ///< tail flit left the NI
+    kNicPull = 3,     ///< a freed NI engine may pull from the queue
+  };
+
+  struct Entry {
+    Time cycle;
+    int phase;  ///< Ev as int; part of the deterministic tie-break
+    int a;      ///< worm index (kArb/kXfer/kInjectDone) or node (kNicPull)
+    int b;      ///< hop index (kXfer), else 0
+    bool operator>(const Entry& o) const {
+      if (cycle != o.cycle) return cycle > o.cycle;
+      if (phase != o.phase) return phase > o.phase;
+      if (a != o.a) return a > o.a;
+      return b > o.b;
+    }
+  };
+
+  bool process_cycle(Time t);
+  void sched(Time cycle, Ev phase, int a, int b = 0);
+  void drain_due(Time t);            ///< calendar entries at t -> buckets
+  bool commit_arbitrations(Time t);  ///< false: non-laminar, materialized
+  void commit_xfers(Time t);
+  void release_posts_into_nics(Time t);
+  void commit_inject_dones(Time t);
+  void do_pulls(NodeId n, Time t);
+  void recheck_nic_busy(NodeId n);
+  void fire_delivery_handlers();
+
+  void rr_flush(int router, Time upto);
+  void rr_begin(int router, Time from);
+  void rr_end(int router, Time from);
+  [[nodiscard]] long long rr_bumps(int router, Time at) const;
+
+  /// Advances the in-flight accounting through end-of-cycle `upto`
+  /// (exclusive of any event at a later cycle).  Between event cycles
+  /// the injecting/consuming worm sets are constant, so the in-flight
+  /// count is linear and its peak sits at a window endpoint.
+  void settle_window(Time upto);
+  /// Exact end-of-cycle accounting at event cycle `t` (sets change here).
+  void settle_end_of_cycle(Time t);
+  /// Adds every pop through end-of-cycle `upto` to stats_.flit_hops
+  /// (idempotent via Worm::hops_settled).
+  void settle_hops(Time upto);
+
+  void materialize(Time at);
+
+  Simulator& sim_;
+  const Time r_;  ///< cfg_.router_delay (>= 1 in event mode)
+  int ports_per_node_ = 1;
+
+  std::vector<Worm> worms_;
+  std::vector<int> live_;  ///< indices of in-flight worms (unordered)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> calendar_;
+  std::vector<Time> eng_free_from_;  ///< per node * ports_per_node + engine
+  std::vector<RrAcct> rr_;           ///< per router
+
+  Time settled_ = -1;       ///< in-flight accounting done through this cycle
+  long long inflight_ = 0;  ///< in-flight flits at end of `settled_`
+  Time last_progress_ = -1;  ///< latest cycle a finished worm moved a flit
+  Time handoff_stalled_ = 0;
+
+  // per-cycle scratch (sized once, reused)
+  std::vector<int> arbs_;
+  std::vector<std::pair<int, int>> xfers_;   ///< (worm, hop)
+  std::vector<int> dones_;
+  std::vector<NodeId> pulls_;
+  std::vector<NodeId> touched_;              ///< NICs needing a busy recheck
+  std::vector<int> cand_;
+  std::vector<int> tentative_;               ///< channels granted this cycle
+  std::vector<std::pair<int, int>> grants_;  ///< (worm, out_port), sweep order
+};
+
+}  // namespace pcm::sim

@@ -33,15 +33,19 @@ class Router {
   Router() = default;
   Router(int radix, int fifo_capacity);
 
-  [[nodiscard]] int radix() const { return static_cast<int>(in_.size()); }
+  [[nodiscard]] int radix() const noexcept { return static_cast<int>(in_.size()); }
 
-  [[nodiscard]] FlitFifo& in(int port) { return in_[port]; }
-  [[nodiscard]] const FlitFifo& in(int port) const { return in_[port]; }
+  [[nodiscard]] FlitFifo& in(int port) noexcept { return in_[port]; }
+  [[nodiscard]] const FlitFifo& in(int port) const noexcept { return in_[port]; }
 
   /// Output port currently reserved by input `port`, or -1.
-  [[nodiscard]] int assigned_out(int port) const { return in_assigned_[port]; }
+  [[nodiscard]] int assigned_out(int port) const noexcept {
+    return in_assigned_[port];
+  }
   /// Input currently holding output `port`, or -1.
-  [[nodiscard]] int out_holder(int port) const { return out_holder_[port]; }
+  [[nodiscard]] int out_holder(int port) const noexcept {
+    return out_holder_[port];
+  }
 
   void reserve(int in_port, int out_port);
   void release(int in_port, int out_port);
@@ -54,17 +58,22 @@ class Router {
 
   /// Rotating arbitration start index; call bump() after each cycle that
   /// performed arbitration so priority rotates.
-  [[nodiscard]] int rr_start() const { return rr_start_; }
-  void bump() { rr_start_ = (rr_start_ + 1) % radix(); }
+  [[nodiscard]] int rr_start() const noexcept { return rr_start_; }
+  [[gnu::always_inline]] void bump() noexcept {
+    rr_start_ = (rr_start_ + 1) % radix();
+  }
+  /// Event-engine materialization only: restores the priority the rotating
+  /// arbiter would have after the reconstructed bump history.
+  void set_rr_start(int s) noexcept { rr_start_ = s; }
 
   /// Number of flits buffered across all inputs plus held outputs; the
   /// simulator drops routers whose activity reaches zero from its
   /// worklist.
-  [[nodiscard]] int activity() const { return activity_; }
+  [[nodiscard]] int activity() const noexcept { return activity_; }
   /// Unassigned inputs with a (head) flit at the front.
-  [[nodiscard]] int pending() const { return pending_; }
+  [[nodiscard]] int pending() const noexcept { return pending_; }
   /// Reserved output channels.
-  [[nodiscard]] int held() const { return held_; }
+  [[nodiscard]] int held() const noexcept { return held_; }
 
   /// Fault path: removes every buffered flit of `msg` from all inputs and
   /// recomputes the worklist counters from first principles.  The caller

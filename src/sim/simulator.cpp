@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/event_engine.hpp"
+
 namespace pcm::sim {
 
 namespace {
@@ -83,7 +85,15 @@ Simulator::Simulator(const Topology& topo, SimConfig cfg)
   channel_dead_.assign(static_cast<std::size_t>(channels), 0);
   node_dead_.assign(static_cast<std::size_t>(topo.num_nodes()), 0);
   channel_msg_.assign(static_cast<std::size_t>(channels), kInvalidMsg);
+
+  // Per-cycle scratch: sized once here so steady-state cycles (and the
+  // event engine's delivery batches) never reallocate.
+  delivered_now_.reserve(64);
+  delivery_batch_.reserve(64);
+  dropped_now_.reserve(64);
 }
+
+Simulator::~Simulator() = default;  // EventEngine is complete here
 
 void Simulator::set_fault_plan(FaultPlan plan) {
   if (cycle_ != 0 || messages_.size() != 0)
@@ -135,8 +145,32 @@ bool Simulator::idle() const {
 }
 
 Time Simulator::run_until_idle(Time max_cycles) {
+  if (cfg_.engine == EngineKind::kEvent && !event_disabled_) {
+    if (faults_active_ || cfg_.router_delay < 1) {
+      // Fault plans mutate the network asynchronously and zero-delay
+      // routers forward within the arrival cycle; both void the event
+      // engine's closed forms, so such runs stay on the reference engine.
+      event_disabled_ = true;
+    } else if (!event_) {
+      event_ = std::make_unique<EventEngine>(*this);
+    }
+  }
   Time stalled = 0;
   while (!idle() && cycle_ < max_cycles) {
+    if (event_ && !event_disabled_) {
+      if (event_->advance(max_cycles)) {
+        // Every executed event cycle moves flits, so the watchdog's
+        // stalled count resets — fast-forwarded laminar spans are never
+        // charged as stall time.
+        stalled = 0;
+      } else {
+        // Materialized: the cycle engine resumes from an exact
+        // microstate; seed the stall counter with the trailing
+        // progress-free cycles the reference engine would have seen.
+        stalled = event_->handoff_stalled();
+      }
+      continue;
+    }
     if (network_quiescent()) {
       // Nothing can move before the next post becomes ready: fast-forward.
       cycle_ = std::max(cycle_, posts_.top().ready);
@@ -157,6 +191,7 @@ Time Simulator::run_until_idle(Time max_cycles) {
       throw WatchdogError(std::move(what), std::move(report));
     }
   }
+  if (event_ && !event_disabled_) event_->finish_run();
   stats_.cycles = cycle_;
   stats_.undelivered = undelivered_;
   run_status_ = idle() ? RunStatus::kCompleted : RunStatus::kTruncated;
@@ -513,6 +548,12 @@ void Simulator::purge_message(MsgId id, DropReason reason) {
 }
 
 WatchdogReport Simulator::stall_report(Time stalled_cycles) const {
+  // Event mode keeps in-flight worms as closed forms rather than buffered
+  // flits; force the flit-level state into the routers first so the
+  // report matches the cycle engine's verbatim.  (Logically const: this
+  // only realizes state the simulation already owns.)
+  if (event_ && !event_disabled_ && event_->live())
+    const_cast<Simulator*>(this)->event_->bail_out();
   WatchdogReport rep;
   rep.cycle = cycle_;
   rep.stalled_cycles = stalled_cycles;

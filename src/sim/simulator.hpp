@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <stdexcept>
 #include <vector>
@@ -42,10 +43,29 @@
 
 namespace pcm::sim {
 
+/// Which engine drives run_until_idle (DESIGN.md §6.5).
+///
+/// kCycle is the golden reference: every active router is ticked every
+/// cycle.  kEvent is the hybrid event-driven kernel: while worm flow is
+/// laminar (every head wins arbitration the first cycle it is eligible)
+/// all reserve/release/delivery times are closed-form affine functions of
+/// the injection start, so the engine only touches the event calendar.
+/// On the first non-laminar condition — a blocked head, a fault plan, a
+/// truncated run — it materializes the exact flit-level microstate of
+/// that cycle and permanently (for this Simulator) hands control to the
+/// cycle engine, which makes the two engines bit-identical by
+/// construction: SimStats, delivery times, observer callback sequences,
+/// and watchdog reports all match.
+enum class EngineKind {
+  kCycle,  ///< cycle-driven reference engine
+  kEvent,  ///< event calendar + closed-form fast-forward, cycle fallback
+};
+
 struct SimConfig {
   int fifo_capacity = 4;        ///< input buffer depth, flits
   Time router_delay = 1;        ///< min cycles a flit rests in each router
   Time watchdog_cycles = 500000;  ///< abort after this many stalled cycles
+  EngineKind engine = EngineKind::kCycle;  ///< run_until_idle driver
 };
 
 struct SimStats {
@@ -81,6 +101,8 @@ class WatchdogError : public std::runtime_error {
   WatchdogReport report_;
 };
 
+class EventEngine;
+
 class Simulator {
  public:
   /// Called when a message's tail flit is consumed; handlers may post().
@@ -89,6 +111,7 @@ class Simulator {
   /// `topo` must outlive the simulator and must not change while any
   /// simulator references it (the wiring is cached at construction).
   Simulator(const Topology& topo, SimConfig cfg = {});
+  ~Simulator();  // out of line: EventEngine is incomplete here
 
   /// Called when a message is purged by a fault; handlers may post().
   using DropHandler = std::function<void(const Message&)>;
@@ -189,12 +212,15 @@ class Simulator {
     return ej != kInvalidNode && node_dead_[static_cast<std::size_t>(ej)];
   }
 
-  void mark_router_active(int r) {
+  [[gnu::always_inline]] void mark_router_active(int r) noexcept {
     active_words_[static_cast<std::size_t>(r) >> 6] |= 1ULL << (r & 63);
   }
-  void clear_router_active(std::size_t word, int bit) {
+  [[gnu::always_inline]] void clear_router_active(std::size_t word,
+                                                  int bit) noexcept {
     active_words_[word] &= ~(1ULL << bit);
   }
+
+  friend class EventEngine;
 
   const Topology& topo_;
   SimConfig cfg_;
@@ -229,6 +255,10 @@ class Simulator {
   // --- worklists ---
   std::vector<std::uint64_t> active_words_;  ///< routers with activity() > 0
   std::vector<std::uint64_t> nic_words_;     ///< NIs with queued/active sends
+
+  // --- hybrid event engine (cfg_.engine == kEvent only) ---
+  std::unique_ptr<EventEngine> event_;  ///< lazily created on the first run
+  bool event_disabled_ = false;  ///< permanent cycle fallback for this sim
 
   Time cycle_ = 0;
   int inflight_flits_ = 0;

@@ -1,0 +1,397 @@
+// Engine-equivalence suite: the hybrid event-driven kernel
+// (SimConfig::engine = kEvent) must be bit-identical to the cycle-driven
+// reference engine on every observable — SimStats fields, per-message
+// timestamps, the full observer callback sequence, run status, and
+// watchdog reports.  Scenarios cover the PR-1/PR-3 golden workloads
+// (contended OPT trees exercise mid-run materialization), a seeded
+// randomized sweep over mesh and BMIN, single-flit and deep-pipeline
+// router delays, fault-plan fallback, truncation + resume, and the
+// deadlocked-ring watchdog regression from the fast-forward accounting
+// fix.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/sampling.hpp"
+#include "bmin/bmin_topology.hpp"
+#include "mesh/mesh_topology.hpp"
+#include "runtime/mcast_runtime.hpp"
+#include "sim/simulator.hpp"
+
+namespace pcm::sim {
+namespace {
+
+/// Records every observer callback as one line, in commit order.  Two
+/// engines are stream-equivalent iff the recorded logs match verbatim.
+class RecordingObserver final : public SimObserver {
+ public:
+  void on_post(const Message& m, Time t) override {
+    line() << "post " << m.id << " @" << t;
+  }
+  void on_deliver(const Message& m, Time t) override {
+    line() << "deliver " << m.id << " @" << t << " blk=" << m.block_cycles;
+  }
+  void on_reserve(int r, int q, MsgId msg, Time t) override {
+    line() << "reserve " << r << ":" << q << " m" << msg << " @" << t;
+  }
+  void on_release(int r, int q, MsgId msg, Time t) override {
+    line() << "release " << r << ":" << q << " m" << msg << " @" << t;
+  }
+  void on_blocked(int r, int p, MsgId msg, Time t) override {
+    line() << "blocked " << r << ":" << p << " m" << msg << " @" << t;
+  }
+  void on_drop(MsgId msg, DropReason reason, Time t) override {
+    line() << "drop m" << msg << " r" << static_cast<int>(reason) << " @" << t;
+  }
+  void on_fault_event(Time t) override { line() << "fault @" << t; }
+  void on_watchdog(const WatchdogReport& rep) override {
+    line() << "watchdog @" << rep.cycle << " stalled=" << rep.stalled_cycles;
+  }
+
+  [[nodiscard]] std::string text() const { return os_.str(); }
+
+ private:
+  std::ostringstream& line() {
+    os_ << '\n';
+    return os_;
+  }
+  std::ostringstream os_;
+};
+
+struct RunCapture {
+  SimStats stats;
+  RunStatus status = RunStatus::kCompleted;
+  Time cycles = 0;
+  std::string events;
+  std::vector<Message> messages;
+  std::string stall;
+};
+
+/// Runs `drive` on a fresh simulator under `engine` and captures every
+/// observable.  `drive` posts traffic and calls run_until_idle itself.
+RunCapture capture(const Topology& topo, SimConfig cfg, EngineKind engine,
+                   const std::function<void(Simulator&)>& drive,
+                   bool take_stall_report = false) {
+  cfg.engine = engine;
+  Simulator sim(topo, cfg);
+  RecordingObserver obs;
+  sim.set_observer(&obs);
+  drive(sim);
+  RunCapture cap;
+  cap.stats = sim.stats();
+  cap.status = sim.run_status();
+  cap.cycles = sim.now();
+  cap.events = obs.text();
+  cap.messages = sim.messages().all();
+  if (take_stall_report) cap.stall = sim.stall_report().to_string();
+  return cap;
+}
+
+void expect_equivalent(const RunCapture& cyc, const RunCapture& evt) {
+  EXPECT_EQ(cyc.stats.cycles, evt.stats.cycles);
+  EXPECT_EQ(cyc.stats.flit_hops, evt.stats.flit_hops);
+  EXPECT_EQ(cyc.stats.channel_conflicts, evt.stats.channel_conflicts);
+  EXPECT_EQ(cyc.stats.messages_delivered, evt.stats.messages_delivered);
+  EXPECT_EQ(cyc.stats.max_inflight_flits, evt.stats.max_inflight_flits);
+  EXPECT_EQ(cyc.stats.messages_dropped, evt.stats.messages_dropped);
+  EXPECT_EQ(cyc.stats.messages_corrupted, evt.stats.messages_corrupted);
+  EXPECT_EQ(cyc.stats.fault_events, evt.stats.fault_events);
+  EXPECT_EQ(cyc.stats.undelivered, evt.stats.undelivered);
+  EXPECT_EQ(cyc.stats.watchdog_fired, evt.stats.watchdog_fired);
+  EXPECT_EQ(cyc.status, evt.status);
+  EXPECT_EQ(cyc.cycles, evt.cycles);
+  EXPECT_EQ(cyc.events, evt.events);
+  EXPECT_EQ(cyc.stall, evt.stall);
+  ASSERT_EQ(cyc.messages.size(), evt.messages.size());
+  for (std::size_t i = 0; i < cyc.messages.size(); ++i) {
+    const Message& a = cyc.messages[i];
+    const Message& b = evt.messages[i];
+    EXPECT_EQ(a.inject_start, b.inject_start) << "msg " << a.id;
+    EXPECT_EQ(a.inject_done, b.inject_done) << "msg " << a.id;
+    EXPECT_EQ(a.delivered, b.delivered) << "msg " << a.id;
+    EXPECT_EQ(a.block_cycles, b.block_cycles) << "msg " << a.id;
+    EXPECT_EQ(a.dropped, b.dropped) << "msg " << a.id;
+    EXPECT_EQ(a.corrupted, b.corrupted) << "msg " << a.id;
+  }
+}
+
+void run_both(const Topology& topo, SimConfig cfg,
+              const std::function<void(Simulator&)>& drive,
+              bool take_stall_report = false) {
+  const RunCapture cyc =
+      capture(topo, cfg, EngineKind::kCycle, drive, take_stall_report);
+  const RunCapture evt =
+      capture(topo, cfg, EngineKind::kEvent, drive, take_stall_report);
+  expect_equivalent(cyc, evt);
+}
+
+Message mk(NodeId src, NodeId dst, int flits, Time ready = 0) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.flits = flits;
+  m.ready_time = ready;
+  return m;
+}
+
+// --- golden workloads (the PR-1/PR-3 regression scenarios) -------------
+
+TEST(EngineEquiv, GoldenMeshOptTreeContended) {
+  // Contended: heads lose arbitration mid-run, forcing the event engine
+  // to materialize and replay — the hardest hand-off path.
+  const auto topo = mesh::make_mesh2d(16);
+  const auto p = analysis::sample_placements(5, 256, 32, 1)[0];
+  run_both(*topo, SimConfig{}, [&](Simulator& sim) {
+    rt::MulticastRuntime rtm(rt::RuntimeConfig{});
+    rtm.run_algorithm(sim, McastAlgorithm::kOptTree, p.source, p.dests, 4096,
+                      &topo->shape());
+  });
+}
+
+TEST(EngineEquiv, GoldenMeshOptMeshContentionFree) {
+  // Theorem-1 schedule: zero conflicts, so the event engine should stay
+  // laminar end-to-end.  The golden numbers pin both engines.
+  const auto topo = mesh::make_mesh2d(16);
+  const auto p = analysis::sample_placements(5, 256, 32, 1)[0];
+  const auto drive = [&](Simulator& sim) {
+    rt::MulticastRuntime rtm(rt::RuntimeConfig{});
+    rtm.run_algorithm(sim, McastAlgorithm::kOptMesh, p.source, p.dests, 4096,
+                      &topo->shape());
+  };
+  const RunCapture cyc = capture(*topo, SimConfig{}, EngineKind::kCycle, drive);
+  const RunCapture evt = capture(*topo, SimConfig{}, EngineKind::kEvent, drive);
+  expect_equivalent(cyc, evt);
+  EXPECT_EQ(evt.stats.cycles, 5588);
+  EXPECT_EQ(evt.stats.flit_hops, 67620);
+  EXPECT_EQ(evt.stats.channel_conflicts, 0);
+  EXPECT_EQ(evt.stats.messages_delivered, 31);
+  EXPECT_EQ(evt.stats.max_inflight_flits, 67);
+}
+
+TEST(EngineEquiv, GoldenBminAdaptiveOptTree) {
+  const auto topo = bmin::make_bmin(64, bmin::UpPolicy::kAdaptive);
+  const auto p = analysis::sample_placements(9, 64, 16, 1)[0];
+  run_both(*topo, SimConfig{}, [&](Simulator& sim) {
+    rt::MulticastRuntime rtm(rt::RuntimeConfig{});
+    rtm.run_algorithm(sim, McastAlgorithm::kOptTree, p.source, p.dests, 1024);
+  });
+}
+
+TEST(EngineEquiv, GoldenMeshCrossTraffic) {
+  const auto topo = mesh::make_mesh2d(4);
+  run_both(*topo, SimConfig{}, [](Simulator& sim) {
+    for (int i = 0; i < 12; ++i) {
+      if (i == 15 - i) continue;
+      sim.post(mk(i, 15 - i, 24 + i, i * 3));
+    }
+    sim.run_until_idle();
+  });
+}
+
+// --- randomized seeded sweep (deterministic regardless of --jobs) ------
+
+void random_traffic(Simulator& sim, int nodes, int count, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> node(0, nodes - 1);
+  std::uniform_int_distribution<int> flits(1, 40);
+  std::uniform_int_distribution<int> ready(0, 300);
+  for (int i = 0; i < count; ++i) {
+    const NodeId src = node(rng);
+    NodeId dst = node(rng);
+    if (dst == src) dst = (dst + 1) % nodes;
+    sim.post(mk(src, dst, flits(rng), ready(rng)));
+  }
+  sim.run_until_idle();
+}
+
+TEST(EngineEquiv, RandomSweepMesh8) {
+  const auto topo = mesh::make_mesh2d(8);
+  for (unsigned seed = 1; seed <= 5; ++seed) {
+    SCOPED_TRACE(seed);
+    run_both(*topo, SimConfig{}, [seed](Simulator& sim) {
+      random_traffic(sim, 64, 48, seed);
+    });
+  }
+}
+
+TEST(EngineEquiv, RandomSweepBminAdaptive) {
+  const auto topo = bmin::make_bmin(64, bmin::UpPolicy::kAdaptive);
+  for (unsigned seed = 11; seed <= 14; ++seed) {
+    SCOPED_TRACE(seed);
+    run_both(*topo, SimConfig{}, [seed](Simulator& sim) {
+      random_traffic(sim, 64, 48, seed);
+    });
+  }
+}
+
+TEST(EngineEquiv, RandomSweepDeepRouterDelay) {
+  // router_delay > 1 stretches residency windows and the laminar closed
+  // forms; fifo_capacity is auto-raised to delay + 1.
+  const auto topo = mesh::make_mesh2d(8);
+  SimConfig cfg;
+  cfg.router_delay = 3;
+  for (unsigned seed = 21; seed <= 23; ++seed) {
+    SCOPED_TRACE(seed);
+    run_both(*topo, cfg, [seed](Simulator& sim) {
+      random_traffic(sim, 64, 32, seed);
+    });
+  }
+}
+
+TEST(EngineEquiv, SingleFlitMessages) {
+  // F == 1: grant, release, delivery, and inject-done can all land on one
+  // cycle — the same-cycle calendar drain paths.
+  const auto topo = mesh::make_mesh2d(8);
+  run_both(*topo, SimConfig{}, [](Simulator& sim) {
+    for (int i = 0; i < 30; ++i) sim.post(mk(i, 63 - i, 1, i % 7));
+    sim.run_until_idle();
+  });
+}
+
+TEST(EngineEquiv, BackToBackFromOneSource) {
+  // Serialized sends from a single NI: the second worm chases the first
+  // through the same channels one release behind (shared-FIFO case).
+  const auto topo = mesh::make_mesh2d(8);
+  run_both(*topo, SimConfig{}, [](Simulator& sim) {
+    for (int i = 0; i < 6; ++i) sim.post(mk(0, 63, 16, 0));
+    sim.run_until_idle();
+  });
+}
+
+// --- fault plans fall back to the reference engine ---------------------
+
+TEST(EngineEquiv, FaultPlanFallsBackIdentically) {
+  const auto topo = mesh::make_mesh2d(4);
+  FaultPlan plan;
+  plan.link_events.push_back(FaultPlan::LinkEvent{20, 5, 1, false});
+  plan.node_events.push_back(FaultPlan::NodeEvent{40, 13});
+  run_both(*topo, SimConfig{}, [&](Simulator& sim) {
+    sim.set_fault_plan(plan);
+    for (int i = 0; i < 12; ++i) {
+      if (i == 15 - i) continue;
+      sim.post(mk(i, 15 - i, 24 + i, i * 3));
+    }
+    sim.run_until_idle();
+  });
+}
+
+// --- truncation, resume, forensic snapshots ----------------------------
+
+TEST(EngineEquiv, TruncationMidFlightAndResume) {
+  const auto topo = mesh::make_mesh2d(4);
+  run_both(
+      *topo, SimConfig{},
+      [](Simulator& sim) {
+        sim.post(mk(0, 15, 1000));
+        sim.post(mk(5, 10, 400, 10));
+        sim.run_until_idle(50);
+        EXPECT_EQ(sim.run_status(), RunStatus::kTruncated);
+        sim.run_until_idle();  // resume to completion
+        EXPECT_EQ(sim.run_status(), RunStatus::kCompleted);
+      },
+      /*take_stall_report=*/true);
+}
+
+TEST(EngineEquiv, StallReportMidFlight) {
+  // stall_report() while worms are event-resident must materialize and
+  // show the same channel occupancy the cycle engine would.
+  const auto topo = mesh::make_mesh2d(4);
+  run_both(
+      *topo, SimConfig{},
+      [](Simulator& sim) {
+        sim.post(mk(0, 15, 1000));
+        sim.run_until_idle(60);
+      },
+      /*take_stall_report=*/true);
+}
+
+TEST(EngineEquiv, MultipleRunsReuseTheCalendar) {
+  const auto topo = mesh::make_mesh2d(8);
+  run_both(*topo, SimConfig{}, [](Simulator& sim) {
+    sim.post(mk(0, 63, 32));
+    sim.run_until_idle();
+    sim.post(mk(63, 0, 32, sim.now() + 5));
+    sim.post(mk(9, 54, 8, sim.now() + 5));
+    sim.run_until_idle();
+  });
+}
+
+TEST(EngineEquiv, DeliveryHandlersPostFollowUps) {
+  // Handler-driven traffic (the runtime's pattern): follow-up posts made
+  // from delivery callbacks enter the calendar after the commit point.
+  const auto topo = mesh::make_mesh2d(8);
+  run_both(*topo, SimConfig{}, [](Simulator& sim) {
+    int hops = 0;
+    sim.set_delivery_handler([&](const Message& m) {
+      if (hops >= 5) return;
+      ++hops;
+      sim.post(mk(m.dst, (m.dst + 17) % 64, 12, sim.now() + 3));
+    });
+    sim.post(mk(0, 21, 12));
+    sim.run_until_idle();
+  });
+}
+
+// --- watchdog: the deadlocked-ring regression (satellite fix) ----------
+
+// Two routers in a ring; traffic circulates and never ejects, so a long
+// message wedges on its own wormhole reservation.
+class RingTopology final : public Topology {
+ public:
+  [[nodiscard]] int num_routers() const override { return 2; }
+  [[nodiscard]] int radix() const override { return 2; }
+  [[nodiscard]] int num_nodes() const override { return 2; }
+  [[nodiscard]] PortRef link(int router, int out_port) const override {
+    if (out_port != 0) return {};
+    return PortRef{1 - router, 0};
+  }
+  [[nodiscard]] PortRef node_attach(NodeId n) const override {
+    return PortRef{static_cast<int>(n), 1};
+  }
+  [[nodiscard]] NodeId ejector(int, int) const override { return kInvalidNode; }
+  void route(int, int, NodeId, NodeId, std::vector<int>& c) const override {
+    c.push_back(0);
+  }
+};
+
+TEST(EngineEquiv, WatchdogRingWedgeIdenticalUnderBothEngines) {
+  // The watchdog must count *stalled* cycles, not fast-forwarded spans:
+  // the event engine materializes at the self-block and the replayed
+  // cycle engine accumulates the identical stall count, so the thrown
+  // report matches verbatim (cycle, stalled count, occupancy dump).
+  RingTopology topo;
+  SimConfig cfg;
+  cfg.fifo_capacity = 2;
+  cfg.watchdog_cycles = 200;
+  std::string what_by_engine[2];
+  Time report_cycle[2] = {0, 0};
+  Time report_stalled[2] = {0, 0};
+  SimStats stats_by_engine[2];
+  for (const EngineKind engine : {EngineKind::kCycle, EngineKind::kEvent}) {
+    cfg.engine = engine;
+    Simulator sim(topo, cfg);
+    sim.post(mk(0, 1, 32));
+    const int idx = engine == EngineKind::kCycle ? 0 : 1;
+    try {
+      sim.run_until_idle();
+      FAIL() << "expected watchdog to fire";
+    } catch (const WatchdogError& e) {
+      what_by_engine[idx] = e.what();
+      report_cycle[idx] = e.report().cycle;
+      report_stalled[idx] = e.report().stalled_cycles;
+    }
+    stats_by_engine[idx] = sim.stats();
+  }
+  EXPECT_EQ(what_by_engine[0], what_by_engine[1]);
+  EXPECT_EQ(report_cycle[0], report_cycle[1]);
+  EXPECT_EQ(report_stalled[0], report_stalled[1]);
+  EXPECT_EQ(stats_by_engine[0].cycles, stats_by_engine[1].cycles);
+  EXPECT_TRUE(stats_by_engine[1].watchdog_fired);
+}
+
+}  // namespace
+}  // namespace pcm::sim
