@@ -16,7 +16,9 @@
 # fails (exit 1) if the event engine is not at least as fast as the
 # cycle engine — the CI perf gate.  Each engine gets `runs` attempts and
 # the best wall time is compared, so scheduler noise cannot flake the
-# gate.
+# gate.  It then gates streaming throughput on the same fig2 parameters:
+# a window-8 stream must beat the window-1 (stop-and-wait) stream in
+# simulated makespan (pcmcast --stream --json; fully deterministic).
 #
 # Exit code: 0 success, 1 perf regression (smoke) or bench failure,
 # 2 usage / missing binaries.
@@ -66,10 +68,42 @@ if [ "$smoke" -eq 1 ]; then
        "cycle=${best_cycle}s event=${best_event}s"
   if awk "BEGIN{exit !($best_event <= $best_cycle)}"; then
     echo "record_bench smoke: OK (event engine is not slower than cycle)"
+  else
+    echo "record_bench smoke: FAIL — event engine slower than the cycle" \
+         "reference on the 16x16 fig2 workload" >&2
+    exit 1
+  fi
+
+  # Streaming throughput gate (fig2 parameters: 16x16 mesh, 16 nodes,
+  # 4 KB payloads): pipelining at window 8 must beat stop-and-wait.  The
+  # compared makespans are simulated cycles, so this cannot flake.
+  pcm="$build/tools/pcmcast"
+  if [ ! -x "$pcm" ]; then
+    echo "record_bench: $pcm not found; build pcmcast first" >&2
+    exit 2
+  fi
+  dests="17,34,51,68,85,102,119,136,153,170,187,204,221,238,255"
+  for w in 1 8; do
+    "$pcm" --topology mesh:16 --bytes 4096 --source 0 --dests "$dests" \
+        --stream 64 --window "$w" --json "$tmp/stream_w$w.json" \
+        >/dev/null || exit 1
+  done
+  makespan_of() {
+    sed -n 's/.*"makespan": "\([0-9]*\)".*/\1/p' "$1"
+  }
+  mk1="$(makespan_of "$tmp/stream_w1.json")"
+  mk8="$(makespan_of "$tmp/stream_w8.json")"
+  if [ -z "$mk1" ] || [ -z "$mk8" ]; then
+    echo "record_bench smoke: FAIL — could not read stream makespans" >&2
+    exit 1
+  fi
+  echo "record_bench smoke: stream 64x4KB makespan window1=$mk1 window8=$mk8"
+  if [ "$mk8" -lt "$mk1" ]; then
+    echo "record_bench smoke: OK (window-8 stream beats stop-and-wait)"
     exit 0
   fi
-  echo "record_bench smoke: FAIL — event engine slower than the cycle" \
-       "reference on the 16x16 fig2 workload" >&2
+  echo "record_bench smoke: FAIL — windowed streaming no faster than" \
+       "stop-and-wait on the fig2 workload" >&2
   exit 1
 fi
 

@@ -22,6 +22,7 @@
 #include "runtime/collectives.hpp"
 #include "runtime/mcast_runtime.hpp"
 #include "runtime/param_probe.hpp"
+#include "runtime/stream_runtime.hpp"
 #include "sim/fault.hpp"
 
 namespace pcm::cli {
@@ -114,6 +115,16 @@ CliOptions parse_args(std::span<const std::string_view> args) {
       opt.source = static_cast<int>(parse_int(a, value()));
     } else if (a == "--dests") {
       opt.dests = std::string(value());
+    } else if (a == "--stream") {
+      opt.stream = static_cast<int>(parse_int(a, value()));
+      if (opt.stream < 1)
+        throw std::invalid_argument("pcmcast: --stream must be >= 1 slot, got " +
+                                    std::to_string(opt.stream));
+    } else if (a == "--window") {
+      opt.window = static_cast<int>(parse_int(a, value()));
+      if (opt.window < 1)
+        throw std::invalid_argument("pcmcast: --window must be >= 1 slot, got " +
+                                    std::to_string(opt.window));
     } else if (a == "--probe") {
       opt.probe = true;
     } else if (a == "--compare") {
@@ -172,6 +183,26 @@ CliOptions parse_args(std::span<const std::string_view> args) {
     if (opt.dests.empty() != (opt.source < 0))
       throw std::invalid_argument(
           "pcmcast: --source and --dests must be given together");
+    if (opt.window > 0 && opt.stream == 0)
+      throw std::invalid_argument(
+          "pcmcast: --window only applies to streams (add --stream N)");
+    if (opt.stream > 0) {
+      if (opt.dests.empty())
+        throw std::invalid_argument(
+            "pcmcast: --stream needs an explicit placement (--source and "
+            "--dests)");
+      if (opt.collective != "multicast")
+        throw std::invalid_argument(
+            "pcmcast: --stream requires --collective multicast");
+      if (opt.lint)
+        throw std::invalid_argument(
+            "pcmcast: --lint is a static analysis; it has no stream model "
+            "(drop --stream)");
+      if (opt.compare || opt.gantt || opt.shuffle_chain)
+        throw std::invalid_argument(
+            "pcmcast: --stream does not combine with "
+            "--compare/--gantt/--shuffle-chain");
+    }
   }
   return opt;
 }
@@ -253,6 +284,12 @@ std::string usage() {
          "  --source N         explicit source node (requires --dests)\n"
          "  --dests A,B,...    explicit destination list; replaces the sampled\n"
          "                     placements (one rep) — chaos reproducers use this\n"
+         "  --stream N         stream N back-to-back slots through one tree\n"
+         "                     (windowed pipelining; needs --source/--dests;\n"
+         "                     --faults switches on the reliable protocol with\n"
+         "                     epoch-based recovery)\n"
+         "  --window W         slot-ring capacity for --stream (default 8;\n"
+         "                     1 = stop-and-wait, matches one-shot runs)\n"
          "  --shuffle-chain    self-test: split the --seed-shuffled caller-order\n"
          "                     chain instead of the sorted one, deliberately\n"
          "                     voiding the contention-freedom precondition\n"
@@ -390,6 +427,138 @@ RunOutcome run_one(const MeshShape* shape, const rt::CollectiveRuntime& coll,
   return out;
 }
 
+/// `pcmcast --stream N`: one explicit placement pushed through the
+/// windowed StreamRuntime.  Faults switch on reliable mode; --audit adds
+/// the channel-level auditor plus the stream-trace replay
+/// (InvariantAuditor::audit_stream).
+int run_stream_cli(const CliOptions& opt, std::ostream& os) {
+  const auto topo = make_topology(opt.topology);
+  const MeshShape* shape = mesh_shape_of(*topo);
+  const std::vector<analysis::Placement> placements = make_placements(opt, *topo);
+  const analysis::Placement& p = placements.front();
+  const McastAlgorithm alg = select_algorithms(opt, shape).front();
+
+  // Streams (and fault plans) are driven by software-time handlers that
+  // re-activate the network mid-flight; the hybrid kernel would
+  // materialize on the first contended cycle anyway, so downgrade up
+  // front and say so (the JSON engine field records the fallback).
+  sim::EngineKind engine = opt.engine;
+  bool fell_back = false;
+  if (engine == sim::EngineKind::kEvent) {
+    engine = sim::EngineKind::kCycle;
+    fell_back = true;
+    os << "pcmcast: streaming workloads run on the cycle engine "
+          "(--engine event downgraded)\n";
+  }
+
+  std::optional<sim::FaultPlan> plan;
+  if (!opt.faults.empty()) plan = sim::FaultPlan::parse(opt.faults);
+
+  rt::RuntimeConfig cfg;
+  rt::CollectiveRuntime coll(cfg);
+  rt::StreamConfig scfg;
+  scfg.window_size = opt.window > 0 ? opt.window : 8;
+  scfg.slots = opt.stream;
+  scfg.bytes = opt.bytes;
+  scfg.alg = alg;
+  scfg.shape = shape;
+  scfg.reliable = plan.has_value();
+  scfg.ft.max_retries = opt.max_retries;
+  scfg.record_trace = opt.audit;
+
+  os << "pcmcast: stream " << opt.algorithm << " on " << opt.topology << ", k="
+     << p.dests.size() + 1 << ", " << opt.bytes << " B x " << scfg.slots
+     << " slots, window " << scfg.window_size << (opt.audit ? ", audited" : "")
+     << "\n";
+  os << "machine: " << describe(cfg.machine, opt.bytes) << "\n";
+  if (plan)
+    os << "faults:  " << plan->describe() << " (max-retries " << opt.max_retries
+       << ")\n";
+
+  sim::Simulator sim(*topo, sim::SimConfig{.engine = engine});
+  std::optional<verify::InvariantAuditor> auditor;
+  if (opt.audit) {
+    verify::AuditConfig acfg;
+    // Pipelined slots legally share channels; strict Thm 1-2 exclusivity
+    // only holds for the healthy stop-and-wait (window 1) stream.
+    acfg.require_contention_free = verify::guarantees_contention_free(alg) &&
+                                   !plan.has_value() && scfg.window_size == 1;
+    acfg.plan_known = plan.has_value();
+    if (plan) acfg.plan = *plan;
+    auditor.emplace(sim.topology(), acfg);
+    sim.set_observer(&*auditor);
+  }
+  if (plan) sim.set_fault_plan(*plan);
+
+  const rt::StreamRuntime srt(coll.multicast());
+  rt::StreamResult r;
+  try {
+    r = srt.run(sim, p.source, p.dests, scfg, sim.now());
+    if (auditor) {
+      auditor->finalize(sim);
+      verify::InvariantAuditor::audit_stream(r);
+    }
+  } catch (const verify::InvariantViolation& v) {
+    os << "pcmcast: AUDIT VIOLATION: " << v.what() << "\n";
+    return 3;
+  }
+
+  const double kcycles = static_cast<double>(r.makespan) / 1000.0;
+  analysis::Table summary(
+      {"slots", "window", "committed", "makespan", "slots/kcycle", "model/slot",
+       "messages", "conflicts", "epochs", "retries", "stale", "dead",
+       "delivered"});
+  summary.add_row(
+      {std::to_string(r.slots), std::to_string(r.window_size),
+       std::to_string(r.committed), std::to_string(r.makespan),
+       analysis::Table::num(
+           kcycles > 0 ? static_cast<double>(r.committed) / kcycles : 0.0, 2),
+       std::to_string(r.model_slot_latency), std::to_string(r.messages),
+       std::to_string(r.channel_conflicts), std::to_string(r.epoch),
+       std::to_string(r.retries), std::to_string(r.stale_acks),
+       std::to_string(r.dead_nodes.size()),
+       analysis::Table::num(r.delivered_fraction, 4)});
+  os << "\n" << summary.to_string();
+
+  analysis::Table rows({"pos", "node", "delivered_prefix", "status"});
+  for (size_t i = 0; i < r.delivered_prefix.size(); ++i) {
+    const NodeId node = i == 0 ? p.source : p.dests[i - 1];
+    const bool dead = std::find(r.dead_nodes.begin(), r.dead_nodes.end(), node) !=
+                      r.dead_nodes.end();
+    rows.add_row({std::to_string(i), std::to_string(node),
+                  std::to_string(r.delivered_prefix[i]),
+                  i == 0 ? "source" : (dead ? "dead" : "ok")});
+  }
+  if (!r.complete) {
+    os << "\nper-receiver delivered prefix:\n" << rows.to_string();
+  }
+
+  if (!opt.csv.empty()) {
+    std::ofstream f(opt.csv);
+    if (!f) throw std::runtime_error("pcmcast: cannot open " + opt.csv);
+    f << rows.to_csv();
+    os << "csv:     " << opt.csv << "\n";
+  }
+  if (!opt.json.empty()) {
+    harness::JsonReport report("pcmcast", 1);
+    report.set_meta("engine", harness::engine_label(opt.engine, fell_back));
+    report.set_meta("makespan", std::to_string(r.makespan));
+    report.set_meta("committed", std::to_string(r.committed));
+    report.add_table("stream", opt.csv, summary);
+    report.add_table("per-receiver", opt.csv, rows);
+    report.write(opt.json);
+    os << "json:    " << opt.json << "\n";
+  }
+  if (!r.complete && !opt.allow_partial) {
+    os << "pcmcast: partial stream delivery ("
+       << analysis::Table::num(r.delivered_fraction, 4)
+       << " of (receiver, slot) pairs); failing — pass --allow-partial to "
+          "accept\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int run_cli(const CliOptions& opt, std::ostream& os) {
@@ -398,6 +567,7 @@ int run_cli(const CliOptions& opt, std::ostream& os) {
     return 0;
   }
   if (opt.lint) return run_lint_cli(opt, os);
+  if (opt.stream > 0) return run_stream_cli(opt, os);
   const auto topo = make_topology(opt.topology);
   const MeshShape* shape = mesh_shape_of(*topo);
   std::vector<analysis::Placement> placements = make_placements(opt, *topo);
@@ -420,6 +590,18 @@ int run_cli(const CliOptions& opt, std::ostream& os) {
     plan = sim::FaultPlan::parse(opt.faults);
     os << "faults:  " << plan->describe() << " (max-retries " << opt.max_retries
        << ")\n";
+  }
+
+  // Fault workloads re-activate the network from software-time handlers,
+  // which forces the hybrid kernel to materialize immediately; downgrade
+  // up front with a notice instead (results are bit-identical anyway).
+  sim::EngineKind engine = opt.engine;
+  bool fell_back = false;
+  if (plan.has_value() && engine == sim::EngineKind::kEvent) {
+    engine = sim::EngineKind::kCycle;
+    fell_back = true;
+    os << "pcmcast: fault workloads run on the cycle engine "
+          "(--engine event downgraded)\n";
   }
 
   if (opt.probe) {
@@ -457,7 +639,7 @@ int run_cli(const CliOptions& opt, std::ostream& os) {
     // of per-simulator state, so this holds with --faults too).
     std::vector<RunOutcome> outcomes(placements.size());
     pool.parallel_for(placements.size(), [&](std::size_t i) {
-      sim::Simulator sim(*topo, sim::SimConfig{.engine = opt.engine});
+      sim::Simulator sim(*topo, sim::SimConfig{.engine = engine});
       outcomes[i] =
           run_one(shape, coll, opt, alg, placements[i], sim, ft ? &*plan : nullptr);
     });
@@ -506,7 +688,7 @@ int run_cli(const CliOptions& opt, std::ostream& os) {
   os << "\n" << summary.to_string();
 
   if (opt.gantt) {
-    sim::Simulator sim(*topo, sim::SimConfig{.engine = opt.engine});
+    sim::Simulator sim(*topo, sim::SimConfig{.engine = engine});
     try {
       (void)run_one(shape, coll, opt, algs.front(), placements.front(), sim,
                     ft ? &*plan : nullptr);
@@ -526,7 +708,7 @@ int run_cli(const CliOptions& opt, std::ostream& os) {
 
   if (!opt.json.empty()) {
     harness::JsonReport report("pcmcast", pool.jobs());
-    report.set_meta("engine", harness::engine_name(opt.engine));
+    report.set_meta("engine", harness::engine_label(opt.engine, fell_back));
     report.add_table("summary", opt.csv, summary);
     report.add_table("per-rep", opt.csv, rows);
     report.write(opt.json);

@@ -38,6 +38,8 @@ struct CliOptions {
   sim::EngineKind engine = sim::EngineKind::kCycle;
   int source = -1;                      ///< explicit source node (with --dests)
   std::string dests;                    ///< explicit comma-separated destinations
+  int stream = 0;                       ///< --stream N: slots to stream (0 = one-shot)
+  int window = 0;                       ///< --window W: slot ring size (0 = default 8)
   bool probe = false;                   ///< measure (t_hold, t_end) first
   bool compare = false;                 ///< run every applicable algorithm
   bool gantt = false;                   ///< print a message Gantt for rep 0

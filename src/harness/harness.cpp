@@ -183,6 +183,11 @@ std::string engine_name(sim::EngineKind engine) {
   return engine == sim::EngineKind::kEvent ? "event" : "cycle";
 }
 
+std::string engine_label(sim::EngineKind requested, bool fell_back) {
+  if (fell_back && requested == sim::EngineKind::kEvent) return "cycle(fallback)";
+  return engine_name(requested);
+}
+
 Harness::Harness(std::string bench_name, const Options& opt)
     : bench_name_(std::move(bench_name)),
       opt_(opt),

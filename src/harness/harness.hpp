@@ -56,6 +56,12 @@ struct Options {
 /// Canonical spelling for reports ("cycle" / "event").
 std::string engine_name(sim::EngineKind engine);
 
+/// Report label when a driver downgraded the requested engine up front
+/// (e.g. `--engine event` with a fault plan or streaming workload, which
+/// the hybrid kernel would immediately materialize out of anyway):
+/// "cycle(fallback)" when a fallback happened, else the plain name.
+std::string engine_label(sim::EngineKind requested, bool fell_back);
+
 /// Parses bench arguments (excluding argv[0]); throws
 /// std::invalid_argument on unknown options or bad values.
 Options parse_options(std::span<const char* const> args);

@@ -1,0 +1,133 @@
+// Fault-tolerant streaming multicast: a windowed pipelining layer on top
+// of MulticastRuntime (DESIGN.md §6.6).
+//
+// A stream pushes `slots` back-to-back messages through the *same*
+// contention-free multicast tree.  The sender owns a slot ring of
+// `window_size` entries: slot s may be injected once every slot up to
+// s - window_size has been cumulatively acknowledged by every surviving
+// receiver (backpressure), and consecutive injections are naturally spaced
+// at the t_hold rate by the source's send engine.  Cumulative acks
+// garbage-collect ring entries as the frontier advances.
+//
+// Robustness is first-class (reliable mode): every send is a tracked
+// record with the PR-2 ack-timeout/backoff policy; a receiver that
+// exhausts its retries is declared dead, which *bumps the group epoch*:
+// the chain is re-split over the survivors (the orphan re-split keeps
+// Theorem-1 contention-freedom — sorted sub-chains of a dimension-ordered
+// chain stay dimension-ordered), every unacked slot is replayed into the
+// new tree, and deliveries from messages issued under an older epoch are
+// rejected as stale acks.  Streams never wedge on a dead receiver: the
+// result reports every receiver's contiguous delivered prefix.
+//
+// The fault-free fast path is handler-driven (no record table, no timeout
+// sweeps) and, at window_size == 1, executes each slot cycle-for-cycle
+// identically to a chain of MulticastRuntime::run() calls — the
+// equivalence tests/test_stream.cpp pins.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/algorithms.hpp"
+#include "runtime/mcast_runtime.hpp"
+#include "sim/simulator.hpp"
+
+namespace pcm::rt {
+
+/// Tunables of one streaming multicast group.
+struct StreamConfig {
+  int window_size = 8;  ///< slot-ring capacity; 1 = stop-and-wait
+  int slots = 1;        ///< messages to stream through the tree
+  Bytes bytes = 1024;   ///< payload bytes per slot
+  McastAlgorithm alg = McastAlgorithm::kOptMesh;
+  const MeshShape* shape = nullptr;  ///< required by the mesh-tuned algorithms
+  /// Track acks/timeouts/epochs (required when the simulator has a fault
+  /// plan; the fault-free fast path refuses to run under one).
+  bool reliable = false;
+  FtConfig ft;  ///< retransmission policy (reliable mode only)
+  /// Record the StreamEvent trace for InvariantAuditor::audit_stream.
+  bool record_trace = false;
+  /// Keep per-slot per-position receive-completion times (slot_recv);
+  /// memory is slots x group size, so leave off for long streams.
+  bool record_slot_times = false;
+};
+
+/// One entry of the stream trace (enabled by StreamConfig::record_trace).
+/// The auditor replays the trace to machine-check the stream invariants:
+/// in-order per-receiver delivery, gap-free prefixes below the cumulative
+/// ack frontier, epoch monotonicity, and window occupancy.  Entries are in
+/// *protocol order* (the order the state machine processed them); the
+/// software times `t` may interleave, since t_recv varies with the
+/// forwarded interval width.
+struct StreamEvent {
+  enum class Kind {
+    kInject,    ///< source activated `slot` (pos = source position)
+    kDeliver,   ///< receiver `pos` finished receiving `slot` (first copy)
+    kStaleAck,  ///< a delivery from epoch `epoch` arrived after a newer
+                ///< epoch began and was rejected (never advances state)
+    kFrontier,  ///< cumulative ack frontier advanced past `slot`
+    kEpoch,     ///< epoch bumped to `epoch` (pos = chain position declared dead)
+  };
+  Kind kind = Kind::kInject;
+  Time t = 0;     ///< software time of the event
+  int slot = -1;  ///< stream slot; -1 where not applicable
+  int epoch = 0;  ///< epoch the event belongs to (kStaleAck: the stale one)
+  int pos = -1;   ///< original chain position; -1 where not applicable
+};
+
+/// Outcome of one stream execution.  All positions are indices into the
+/// *original* chain (the tree over every requested destination), so
+/// per-receiver accounting stays stable across epoch reconfigurations.
+struct StreamResult {
+  int slots = 0;        ///< requested stream length
+  int window_size = 0;  ///< ring capacity the run used
+  int committed = 0;    ///< slots the cumulative frontier passed (== slots
+                        ///< on any run that ends; survivors define commit)
+  Time makespan = 0;    ///< t0 -> last frontier advance (software time)
+  Time model_slot_latency = 0;  ///< contention-free bound for one slot
+  long long messages = 0;       ///< network sends posted (incl. retries)
+  long long channel_conflicts = 0;  ///< head-blocked cycles across the stream
+  long long flit_hops = 0;          ///< SimStats delta over the stream
+  Time sim_cycles = 0;              ///< simulated cycles the stream spanned
+  int epoch = 0;                ///< final epoch (0 = never reconfigured)
+  int retries = 0;              ///< timeout retransmissions issued
+  int stale_acks = 0;           ///< old-epoch deliveries rejected
+  int duplicate_deliveries = 0;
+  int max_window_occupancy = 0;  ///< peak injected-but-uncommitted slots
+  std::vector<NodeId> dead_nodes;  ///< sorted, unique
+  /// Per original chain position: contiguous slots delivered starting at
+  /// slot 0 (the "delivered prefix"); the source's entry is `slots`.
+  std::vector<int> delivered_prefix;
+  /// Per slot: software time the cumulative frontier passed it (-1 if the
+  /// run ended before the slot committed — cannot happen today, the
+  /// protocol always drains, but truncated futures may use it).
+  std::vector<Time> commit_time;
+  bool complete = true;  ///< every *original* receiver holds every slot
+  /// Delivered (receiver, slot) pairs over all requested pairs.
+  double delivered_fraction = 1.0;
+  std::vector<StreamEvent> trace;          ///< see StreamConfig::record_trace
+  std::vector<std::vector<Time>> slot_recv;  ///< see record_slot_times
+};
+
+/// Streaming driver.  Holds a reference to the per-message runtime (which
+/// supplies machine parameters and wire formats); both must outlive any
+/// run() call.
+class StreamRuntime {
+ public:
+  explicit StreamRuntime(const MulticastRuntime& rtm) : rtm_(rtm) {}
+
+  /// Streams cfg.slots messages from `source` to `dests` on `sim`.
+  /// Builds the cfg.alg tree internally (and rebuilds it over survivors on
+  /// every epoch bump).  The simulator must be idle; `t0` must be >=
+  /// sim.now().  Throws std::invalid_argument on a bad config and
+  /// std::logic_error when a fault plan is installed without
+  /// cfg.reliable.
+  StreamResult run(sim::Simulator& sim, NodeId source,
+                   std::span<const NodeId> dests, const StreamConfig& cfg,
+                   Time t0 = 0) const;
+
+ private:
+  const MulticastRuntime& rtm_;
+};
+
+}  // namespace pcm::rt

@@ -146,6 +146,11 @@ class Simulator {
   [[nodiscard]] bool idle() const;
   [[nodiscard]] Time now() const { return cycle_; }
 
+  /// True when a non-empty fault plan is installed.  Drivers use this to
+  /// pick the reliable streaming path (and the cycle engine) up front
+  /// instead of discovering mid-run that messages can be lost.
+  [[nodiscard]] bool fault_plan_active() const { return faults_active_; }
+
   /// Forensic snapshot of the current network state (stalled messages,
   /// reservation graph, suspected deadlock cycle).  Cheap enough to call
   /// from tests; the watchdog uses it for its exception payload.

@@ -15,6 +15,7 @@
 #include "harness/thread_pool.hpp"
 #include "mesh/mesh_topology.hpp"
 #include "runtime/mcast_runtime.hpp"
+#include "runtime/stream_runtime.hpp"
 #include "verify/invariant_auditor.hpp"
 
 namespace pcm::verify {
@@ -132,7 +133,113 @@ ChaosScenario make_scenario(std::uint64_t root_seed, int index) {
   return s;
 }
 
+ChaosScenario make_stream_scenario(std::uint64_t root_seed, int index) {
+  analysis::Rng rng(harness::substream_seed(root_seed ^ 0x5357524d5354524dULL,
+                                            static_cast<std::uint64_t>(index)));
+  ChaosScenario s;
+  s.index = index;
+  static constexpr const char* kTopologies[] = {"mesh:4", "mesh:8", "mesh:8",
+                                                "bmin:32"};
+  s.topology = kTopologies[rng.below(4)];
+  const BuiltTopology t = build_topology(s.topology);
+  const int n = t.topo->num_nodes();
+  const bool is_mesh = t.shape != nullptr;
+
+  const std::uint64_t pick = rng.below(10);
+  if (is_mesh) {
+    s.alg = pick < 6 ? McastAlgorithm::kOptMesh : McastAlgorithm::kUMesh;
+  } else {
+    s.alg = pick < 6 ? McastAlgorithm::kOptMin : McastAlgorithm::kUMin;
+  }
+
+  const int kmax = std::min(n, 12);
+  const int k = 2 + static_cast<int>(rng.below(static_cast<std::uint64_t>(kmax - 1)));
+  const analysis::Placement p = analysis::sample_placement(rng, n, k);
+  s.source = p.source;
+  s.dests = p.dests;
+  static constexpr Bytes kSizes[] = {64, 256, 1024};
+  s.bytes = kSizes[rng.below(3)];
+  s.stream_len = 8 + static_cast<int>(rng.below(41));  // 8..48 slots
+  static constexpr int kWindows[] = {1, 2, 4, 8};
+  s.stream_window = kWindows[rng.below(4)];
+
+  // Mid-stream faults: node kills land while the window is in flight, and
+  // the loss rates stay modest so retry ladders terminate well inside the
+  // deadline budget.  ~1/5 of scenarios stay fault-free, exercising both
+  // the fast path's audit and the reliable path's healthy schedule.
+  sim::FaultPlan& plan = s.plan;
+  if (rng.below(100) < 55) {
+    const int kills = 1 + (rng.below(100) < 25 ? 1 : 0);
+    for (int i = 0; i < kills; ++i) {
+      const NodeId victim = s.dests[rng.below(s.dests.size())];
+      plan.node_events.push_back(
+          {static_cast<Time>(100 + rng.below(20000)), victim});
+    }
+  }
+  if (rng.below(100) < 35) plan.drop_rate = 0.001 + rng.uniform() * 0.008;
+  if (rng.below(100) < 25) plan.corrupt_rate = 0.001 + rng.uniform() * 0.01;
+  if (!plan.empty()) plan.seed = rng.next() >> 1;
+  return s;
+}
+
+namespace {
+
+/// Streaming scenarios run through StreamRuntime, audited both at the
+/// channel level (InvariantAuditor observer) and at the protocol level
+/// (audit_stream over the recorded StreamEvent trace).
+ScenarioOutcome run_stream_scenario(const ChaosScenario& s) {
+  const BuiltTopology t = build_topology(s.topology);
+  const rt::MulticastRuntime rtm{rt::RuntimeConfig{}};
+  const rt::StreamRuntime srt(rtm);
+
+  sim::Simulator sim(*t.topo);
+  AuditConfig acfg;
+  // Theorems 1-2 cover one tree at a time: with window > 1 consecutive
+  // slots legally share channels, so strict contention-freedom is only
+  // demanded for fault-free stop-and-wait streams.
+  acfg.require_contention_free =
+      guarantees_contention_free(s.alg) && s.plan.empty() && s.stream_window == 1;
+  acfg.plan_known = !s.plan.empty();
+  acfg.plan = s.plan;
+  InvariantAuditor auditor(*t.topo, acfg);
+  sim.set_observer(&auditor);
+  if (!s.plan.empty()) sim.set_fault_plan(s.plan);
+
+  rt::StreamConfig scfg;
+  scfg.window_size = s.stream_window;
+  scfg.slots = s.stream_len;
+  scfg.bytes = s.bytes;
+  scfg.alg = s.alg;
+  scfg.shape = t.shape;
+  scfg.reliable = !s.plan.empty();
+  scfg.ft.max_retries = s.max_retries;
+  scfg.record_trace = true;
+
+  ScenarioOutcome out;
+  try {
+    const rt::StreamResult r = srt.run(sim, s.source, s.dests, scfg);
+    out.delivered = r.delivered_fraction;
+    out.retries = r.retries;
+    out.epochs = r.epoch;
+    out.stale_acks = r.stale_acks;
+    auditor.finalize(sim);
+    InvariantAuditor::audit_stream(r);
+  } catch (const sim::WatchdogError& e) {
+    out.violated = true;
+    out.watchdog = true;
+    out.violation = first_line(e.what());
+  } catch (const InvariantViolation& e) {
+    out.violated = true;
+    out.violation = e.what();
+  }
+  out.dropped = sim.stats().messages_dropped;
+  return out;
+}
+
+}  // namespace
+
 ScenarioOutcome run_scenario(const ChaosScenario& s) {
+  if (s.stream_len > 0) return run_stream_scenario(s);
   const BuiltTopology t = build_topology(s.topology);
   // Same runtime defaults as pcmcast, so repro_command replays bit-exactly.
   const rt::MulticastRuntime rtm{rt::RuntimeConfig{}};
@@ -254,6 +361,26 @@ MinimizeResult minimize(const ChaosScenario& s) {
         changed = true;
       }
     }
+    // Streaming scenarios also shrink along the stream axis: shorter
+    // streams and a window of 1 make one-line reproducers far cheaper.
+    for (const int cand : {1, mr.scenario.stream_len / 2}) {
+      if (cand < 1 || cand >= mr.scenario.stream_len) continue;
+      ChaosScenario c = mr.scenario;
+      c.stream_len = cand;
+      if (const ScenarioOutcome o = attempt(c); o.violated) {
+        accept(std::move(c), o);
+        changed = true;
+        break;
+      }
+    }
+    if (mr.scenario.stream_window > 1) {
+      ChaosScenario c = mr.scenario;
+      c.stream_window = 1;
+      if (const ScenarioOutcome o = attempt(c); o.violated) {
+        accept(std::move(c), o);
+        changed = true;
+      }
+    }
   }
   return mr;
 }
@@ -265,6 +392,8 @@ std::string repro_command(const ChaosScenario& s) {
   for (std::size_t i = 0; i < s.dests.size(); ++i)
     os << (i ? "," : "") << s.dests[i];
   os << " --bytes " << s.bytes << " --max-retries " << s.max_retries;
+  if (s.stream_len > 0)
+    os << " --stream " << s.stream_len << " --window " << s.stream_window;
   if (s.shuffle_chain) os << " --shuffle-chain --seed " << s.shuffle_seed;
   if (!s.plan.empty()) os << " --faults \"" << s.plan.to_spec() << '"';
   os << " --audit";
@@ -276,9 +405,13 @@ ChaosReport run_chaos(const ChaosConfig& cfg, std::ostream* log) {
   ChaosReport rep;
   rep.scenarios = cfg.scenarios;
   std::vector<ScenarioOutcome> outcomes(static_cast<std::size_t>(cfg.scenarios));
+  auto generate = [&cfg](int i) {
+    return cfg.streaming ? make_stream_scenario(cfg.seed, i)
+                         : make_scenario(cfg.seed, i);
+  };
   harness::ThreadPool pool(cfg.jobs);
   pool.parallel_for(outcomes.size(), [&](std::size_t i) {
-    outcomes[i] = run_scenario(make_scenario(cfg.seed, static_cast<int>(i)));
+    outcomes[i] = run_scenario(generate(static_cast<int>(i)));
   });
 
   double delivered_sum = 0;
@@ -288,6 +421,8 @@ ChaosReport run_chaos(const ChaosConfig& cfg, std::ostream* log) {
     rep.retries += o.retries;
     rep.repairs += o.repairs;
     rep.dropped += o.dropped;
+    rep.epochs += o.epochs;
+    rep.stale_acks += o.stale_acks;
     if (o.violated) {
       ++rep.violations;
       rep.watchdogs += o.watchdog ? 1 : 0;
@@ -303,7 +438,7 @@ ChaosReport run_chaos(const ChaosConfig& cfg, std::ostream* log) {
       std::min<int>(cfg.max_minimized, static_cast<int>(rep.violating_indices.size()));
   for (int v = 0; v < to_minimize; ++v) {
     const int idx = rep.violating_indices[static_cast<std::size_t>(v)];
-    MinimizeResult mr = minimize(make_scenario(cfg.seed, idx));
+    MinimizeResult mr = minimize(generate(idx));
     if (log != nullptr)
       *log << "chaos: scenario " << idx << " minimized (" << mr.runs << " runs, "
            << mr.removed << " removed): " << mr.violation << "\n"

@@ -36,10 +36,21 @@ struct ChaosScenario {
   bool shuffle_chain = false;
   std::uint64_t shuffle_seed = 0;  ///< RNG seed for the dest permutation
   sim::FaultPlan plan;
+  /// Streaming scenario (pcmcast --stream): push `stream_len` slots
+  /// through a `stream_window`-slot ring instead of one message.  0 keeps
+  /// the legacy one-shot semantics (and the existing golden outcomes).
+  int stream_len = 0;
+  int stream_window = 0;
 };
 
 /// Deterministically generates scenario `index` of root seed `root_seed`.
 ChaosScenario make_scenario(std::uint64_t root_seed, int index);
+
+/// Streaming variant: windowed multi-slot scenarios with mid-stream
+/// faults, run through StreamRuntime and checked with audit_stream on top
+/// of the channel-level audit.  Same substream discipline as
+/// make_scenario, so sweeps stay bit-identical at any --jobs.
+ChaosScenario make_stream_scenario(std::uint64_t root_seed, int index);
 
 struct ScenarioOutcome {
   bool violated = false;
@@ -49,6 +60,8 @@ struct ScenarioOutcome {
   int retries = 0;
   int repairs = 0;
   int dropped = 0;
+  int epochs = 0;      ///< stream reconfigurations (streaming scenarios)
+  int stale_acks = 0;  ///< old-epoch deliveries rejected (streaming)
 };
 
 /// Executes one scenario under a strict-as-applicable auditor (contention
@@ -81,6 +94,7 @@ struct ChaosConfig {
   std::uint64_t seed = 42;
   int jobs = 0;            ///< ThreadPool fan-out; 0 = hardware
   int max_minimized = 5;   ///< delta-debug at most this many failures
+  bool streaming = false;  ///< sweep make_stream_scenario instead
 };
 
 struct ChaosReport {
@@ -90,6 +104,8 @@ struct ChaosReport {
   long long retries = 0;
   long long repairs = 0;
   long long dropped = 0;
+  long long epochs = 0;
+  long long stale_acks = 0;
   double mean_delivered = 1.0;
   std::vector<int> violating_indices;      ///< scenario order
   std::vector<MinimizeResult> minimized;   ///< first max_minimized failures

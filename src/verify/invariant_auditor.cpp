@@ -31,6 +31,10 @@ const char* invariant_name(Invariant inv) {
     case Invariant::kAckEpoch: return "ack-epoch";
     case Invariant::kResultConsistency: return "result-consistency";
     case Invariant::kWatchdogMismatch: return "watchdog-mismatch";
+    case Invariant::kStreamOrder: return "stream-order";
+    case Invariant::kStreamGap: return "stream-gap";
+    case Invariant::kStreamEpoch: return "stream-epoch";
+    case Invariant::kStreamWindow: return "stream-window";
   }
   return "?";
 }
@@ -320,6 +324,209 @@ void InvariantAuditor::audit_result(const rt::McastResult& res) {
                                  ev.t);
       got = 1;
     }
+  }
+}
+
+void InvariantAuditor::audit_stream(const rt::StreamResult& res) {
+  using Kind = rt::StreamEvent::Kind;
+  const int k = static_cast<int>(res.delivered_prefix.size());
+  const int slots = res.slots;
+  if (slots < 1 || res.window_size < 1 || k < 2)
+    throw InvariantViolation(Invariant::kResultConsistency,
+                             "stream result with no slots, window, or group");
+  if (res.committed < 0 || res.committed > slots)
+    throw InvariantViolation(Invariant::kResultConsistency,
+                             "committed outside [0, slots]");
+  if (res.max_window_occupancy > res.window_size)
+    throw InvariantViolation(
+        Invariant::kStreamWindow,
+        "max occupancy " + std::to_string(res.max_window_occupancy) +
+            " exceeds window " + std::to_string(res.window_size));
+  if (static_cast<int>(res.commit_time.size()) != slots)
+    throw InvariantViolation(Invariant::kResultConsistency,
+                             "commit_time size disagrees with slots");
+  Time prev = -1;
+  for (int s = 0; s < slots; ++s) {
+    const Time t = res.commit_time[static_cast<std::size_t>(s)];
+    if (s < res.committed) {
+      if (t < 0 || t < prev)
+        throw InvariantViolation(Invariant::kStreamGap,
+                                 "commit_time not monotone at slot " +
+                                     std::to_string(s));
+      prev = t;
+    } else if (t >= 0) {
+      throw InvariantViolation(Invariant::kResultConsistency,
+                               "uncommitted slot " + std::to_string(s) +
+                                   " has a commit time");
+    }
+  }
+  for (int p = 0; p < k; ++p) {
+    const int pre = res.delivered_prefix[static_cast<std::size_t>(p)];
+    if (pre < 0 || pre > slots)
+      throw InvariantViolation(Invariant::kResultConsistency,
+                               "delivered_prefix outside [0, slots] at pos " +
+                                   std::to_string(p));
+  }
+  if (res.trace.empty()) return;
+
+  // --- full trace replay ---
+  // Per position: delivered slot set, last first-delivery slot.
+  std::vector<std::vector<char>> got(
+      static_cast<std::size_t>(k),
+      std::vector<char>(static_cast<std::size_t>(slots), 0));
+  std::vector<int> last_slot(static_cast<std::size_t>(k), -1);
+  std::vector<char> dead(static_cast<std::size_t>(k), 0);
+  int epoch = 0;
+  int injected = 0;
+  int frontier = 0;
+  int epochs_seen = 0;
+  int stale_seen = 0;
+  // The trace is replayed in *protocol order* (the order the runtime's
+  // state machine processed the events).  Timestamps are software
+  // completion times and may legally interleave: a retransmitted slot's
+  // delivery can carry an earlier `done` than an event traced before it
+  // (t_recv varies with the forwarded interval width).
+  for (const rt::StreamEvent& ev : res.trace) {
+    switch (ev.kind) {
+      case Kind::kInject:
+        if (ev.slot != injected)
+          throw InvariantViolation(Invariant::kStreamOrder,
+                                   "slot " + std::to_string(ev.slot) +
+                                       " injected out of order (expected " +
+                                       std::to_string(injected) + ")",
+                                   ev.t);
+        if (ev.epoch != epoch)
+          throw InvariantViolation(Invariant::kStreamEpoch,
+                                   "injection under epoch " +
+                                       std::to_string(ev.epoch) +
+                                       " while the group is at " +
+                                       std::to_string(epoch),
+                                   ev.t);
+        ++injected;
+        if (injected - frontier > res.window_size)
+          throw InvariantViolation(
+              Invariant::kStreamWindow,
+              "occupancy " + std::to_string(injected - frontier) +
+                  " exceeds window " + std::to_string(res.window_size) +
+                  " at slot " + std::to_string(ev.slot),
+              ev.t);
+        break;
+      case Kind::kDeliver: {
+        if (ev.epoch != epoch)
+          throw InvariantViolation(
+              Invariant::kStreamEpoch,
+              "delivery of slot " + std::to_string(ev.slot) + " under epoch " +
+                  std::to_string(ev.epoch) +
+                  " advanced state while the group is at " +
+                  std::to_string(epoch) + " (stale-epoch ack accepted)",
+              ev.t);
+        if (ev.pos < 0 || ev.pos >= k || ev.slot < 0 || ev.slot >= slots)
+          throw InvariantViolation(Invariant::kResultConsistency,
+                                   "delivery outside the group/stream", ev.t);
+        char& cell = got[static_cast<std::size_t>(ev.pos)]
+                        [static_cast<std::size_t>(ev.slot)];
+        if (cell)
+          throw InvariantViolation(Invariant::kStreamOrder,
+                                   "slot " + std::to_string(ev.slot) +
+                                       " first-delivered twice at pos " +
+                                       std::to_string(ev.pos),
+                                   ev.t);
+        cell = 1;
+        last_slot[static_cast<std::size_t>(ev.pos)] = ev.slot;
+        break;
+      }
+      case Kind::kStaleAck:
+        if (ev.epoch >= epoch)
+          throw InvariantViolation(Invariant::kStreamEpoch,
+                                   "stale ack carries epoch " +
+                                       std::to_string(ev.epoch) +
+                                       " but the group is only at " +
+                                       std::to_string(epoch),
+                                   ev.t);
+        ++stale_seen;
+        break;
+      case Kind::kFrontier:
+        if (ev.slot != frontier)
+          throw InvariantViolation(Invariant::kStreamGap,
+                                   "frontier advanced past slot " +
+                                       std::to_string(ev.slot) +
+                                       " but stands at " +
+                                       std::to_string(frontier),
+                                   ev.t);
+        if (ev.slot >= injected)
+          throw InvariantViolation(Invariant::kStreamGap,
+                                   "slot committed before it was injected",
+                                   ev.t);
+        // Commit means every *surviving* receiver holds the slot.
+        for (int p = 0; p < k; ++p) {
+          if (dead[static_cast<std::size_t>(p)]) continue;
+          if (res.delivered_prefix[static_cast<std::size_t>(p)] == slots &&
+              last_slot[static_cast<std::size_t>(p)] < 0)
+            continue;  // the source: full prefix, never a receiver
+          if (!got[static_cast<std::size_t>(p)][static_cast<std::size_t>(ev.slot)])
+            throw InvariantViolation(Invariant::kStreamGap,
+                                     "slot " + std::to_string(ev.slot) +
+                                         " committed below surviving pos " +
+                                         std::to_string(p) + "'s delivery",
+                                     ev.t);
+        }
+        ++frontier;
+        break;
+      case Kind::kEpoch:
+        if (ev.epoch != epoch + 1)
+          throw InvariantViolation(Invariant::kStreamEpoch,
+                                   "epoch stepped from " + std::to_string(epoch) +
+                                       " to " + std::to_string(ev.epoch),
+                                   ev.t);
+        if (ev.pos < 0 || ev.pos >= k || dead[static_cast<std::size_t>(ev.pos)])
+          throw InvariantViolation(Invariant::kStreamEpoch,
+                                   "epoch bump names an invalid or already-dead "
+                                   "position",
+                                   ev.t);
+        dead[static_cast<std::size_t>(ev.pos)] = 1;
+        epoch = ev.epoch;
+        ++epochs_seen;
+        break;
+    }
+  }
+  if (epoch != res.epoch || epochs_seen != res.epoch)
+    throw InvariantViolation(Invariant::kStreamEpoch,
+                             "trace epoch count disagrees with the result");
+  if (frontier != res.committed)
+    throw InvariantViolation(Invariant::kResultConsistency,
+                             "trace frontier disagrees with committed");
+  if (stale_seen != res.stale_acks)
+    throw InvariantViolation(Invariant::kResultConsistency,
+                             "trace stale-ack count disagrees with the result");
+
+  // Per-receiver checks over the replayed delivery sets.
+  for (int p = 0; p < k; ++p) {
+    const auto& row = got[static_cast<std::size_t>(p)];
+    if (last_slot[static_cast<std::size_t>(p)] < 0) continue;  // source / silent
+    // In-order first deliveries are only promised while the tree never
+    // reconfigures (replays legally deliver newer slots first).
+    if (res.epoch == 0) {
+      int expect = 0;
+      for (int s = 0; s < slots; ++s)
+        if (row[static_cast<std::size_t>(s)]) {
+          if (s != expect)
+            throw InvariantViolation(Invariant::kStreamOrder,
+                                     "pos " + std::to_string(p) +
+                                         " delivered slot " + std::to_string(s) +
+                                         " before slot " + std::to_string(expect));
+          ++expect;
+        }
+    }
+    int pre = 0;
+    while (pre < slots && row[static_cast<std::size_t>(pre)]) ++pre;
+    if (pre != res.delivered_prefix[static_cast<std::size_t>(p)])
+      throw InvariantViolation(Invariant::kStreamGap,
+                               "delivered_prefix " +
+                                   std::to_string(res.delivered_prefix
+                                                      [static_cast<std::size_t>(p)]) +
+                                   " at pos " + std::to_string(p) +
+                                   " disagrees with the trace (" +
+                                   std::to_string(pre) + ")");
   }
 }
 

@@ -42,6 +42,7 @@
 
 #include "core/algorithms.hpp"
 #include "runtime/mcast_runtime.hpp"
+#include "runtime/stream_runtime.hpp"
 #include "sim/fault.hpp"
 #include "sim/observer.hpp"
 #include "sim/simulator.hpp"
@@ -60,6 +61,10 @@ enum class Invariant {
   kAckEpoch,            ///< attempt regression, unmatched or double ack
   kResultConsistency,   ///< McastResult fields disagree with each other
   kWatchdogMismatch,    ///< WatchdogReport disagrees with the ledger
+  kStreamOrder,         ///< out-of-order slot delivery at one receiver
+  kStreamGap,           ///< delivery gap below the cumulative-ack frontier
+  kStreamEpoch,         ///< epoch regression, or stale-epoch state advance
+  kStreamWindow,        ///< window occupancy exceeded window_size
 };
 
 [[nodiscard]] const char* invariant_name(Invariant inv);
@@ -129,6 +134,17 @@ class InvariantAuditor final : public sim::SimObserver {
   /// accounting, and — when an ack trace was recorded — monotonic ack
   /// epochs with no double-counted acks.
   static void audit_result(const rt::McastResult& res);
+
+  /// Checks a StreamResult for the streaming invariants (DESIGN.md §6.6):
+  /// result-field arithmetic (committed/commit_time/occupancy bounds),
+  /// and — when a StreamEvent trace was recorded — a full replay
+  /// asserting per-receiver in-order delivery (on reconfiguration-free
+  /// streams), no delivery gaps below the cumulative-ack frontier for any
+  /// surviving receiver, epoch monotonicity (an epoch only ever steps
+  /// forward by one, state-advancing events carry the current epoch, and
+  /// stale acks carry an older one), and window occupancy never exceeding
+  /// window_size.
+  static void audit_stream(const rt::StreamResult& res);
 
   [[nodiscard]] int posted() const { return posted_; }
   [[nodiscard]] int delivered() const { return delivered_; }

@@ -2,6 +2,8 @@
 // and the experiment driver).
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "bmin/bmin_topology.hpp"
@@ -337,6 +339,148 @@ TEST(CliRun, NodesBeyondTopologyRejected) {
   o.nodes = 99;
   std::ostringstream os;
   EXPECT_THROW(run_cli(o, os), std::invalid_argument);
+}
+
+// --- streaming (--stream / --window) --------------------------------------
+
+TEST(CliParse, StreamFlagsAccepted) {
+  const auto args = sv({"--stream", "16", "--window", "4", "--source", "0",
+                        "--dests", "1,2,3"});
+  const CliOptions o = parse_args(args);
+  EXPECT_EQ(o.stream, 16);
+  EXPECT_EQ(o.window, 4);
+}
+
+TEST(CliParse, StreamRejectionsNameTheFlag) {
+  // Each malformed combination must throw (main() maps that to exit 2)
+  // with a message naming the offending flag.
+  auto message_of = [](std::initializer_list<const char*> xs) {
+    try {
+      const std::vector<std::string_view> args(xs.begin(), xs.end());
+      (void)parse_args(args);
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  EXPECT_NE(message_of({"--stream", "0", "--source", "0", "--dests", "1"})
+                .find("--stream"),
+            std::string::npos);
+  EXPECT_NE(message_of({"--stream", "abc"}).find("--stream"), std::string::npos);
+  EXPECT_NE(message_of({"--stream", "4", "--window", "0", "--source", "0",
+                        "--dests", "1"})
+                .find("--window"),
+            std::string::npos);
+  EXPECT_NE(message_of({"--stream", "4", "--window", "-3", "--source", "0",
+                        "--dests", "1"})
+                .find("--window"),
+            std::string::npos);
+  EXPECT_NE(message_of({"--stream", "4", "--window", "x", "--source", "0",
+                        "--dests", "1"})
+                .find("--window"),
+            std::string::npos);
+  // --stream without an explicit placement.
+  EXPECT_NE(message_of({"--stream", "4"}).find("--stream"), std::string::npos);
+  // --window without --stream.
+  EXPECT_NE(message_of({"--window", "4"}).find("--window"), std::string::npos);
+  // Streams are dynamic multicast-only workloads.
+  EXPECT_THROW(parse_args(sv({"--stream", "4", "--source", "0", "--dests", "1",
+                              "--collective", "reduce"})),
+               std::invalid_argument);
+  EXPECT_THROW(parse_args(sv({"--stream", "4", "--source", "0", "--dests", "1",
+                              "--lint"})),
+               std::invalid_argument);
+  EXPECT_THROW(parse_args(sv({"--stream", "4", "--source", "0", "--dests", "1",
+                              "--compare"})),
+               std::invalid_argument);
+}
+
+TEST(CliRun, StreamReportsThroughput) {
+  CliOptions o;
+  o.topology = "mesh:8";
+  o.source = 0;
+  o.dests = "9,18,27";
+  o.bytes = 256;
+  o.stream = 8;
+  o.window = 2;
+  std::ostringstream os;
+  EXPECT_EQ(run_cli(o, os), 0) << os.str();
+  EXPECT_NE(os.str().find("8 slots"), std::string::npos);
+  EXPECT_NE(os.str().find("window 2"), std::string::npos);
+  EXPECT_NE(os.str().find("slots/kcycle"), std::string::npos);
+}
+
+TEST(CliRun, StreamAuditedStopAndWaitPasses) {
+  CliOptions o;
+  o.topology = "mesh:8";
+  o.source = 0;
+  o.dests = "9,18,27";
+  o.bytes = 256;
+  o.stream = 4;
+  o.window = 1;
+  o.audit = true;
+  std::ostringstream os;
+  EXPECT_EQ(run_cli(o, os), 0) << os.str();
+  EXPECT_NE(os.str().find("audited"), std::string::npos);
+}
+
+TEST(CliRun, StreamEventEngineFallsBackWithNotice) {
+  CliOptions o;
+  o.topology = "mesh:8";
+  o.source = 0;
+  o.dests = "9,18";
+  o.bytes = 256;
+  o.stream = 4;
+  o.engine = sim::EngineKind::kEvent;
+  o.json = testing::TempDir() + "pcm_stream_fallback.json";
+  std::ostringstream os;
+  EXPECT_EQ(run_cli(o, os), 0) << os.str();
+  EXPECT_NE(os.str().find("cycle engine"), std::string::npos)
+      << "the downgrade must be announced";
+  std::ifstream f(o.json);
+  const std::string json((std::istreambuf_iterator<char>(f)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"engine\": \"cycle(fallback)\""), std::string::npos)
+      << json;
+}
+
+TEST(CliRun, FaultedEventEngineFallsBackWithNotice) {
+  CliOptions o;
+  o.topology = "mesh:8";
+  o.source = 0;
+  o.dests = "1,2,3";
+  o.bytes = 256;
+  o.faults = "drop:0.01;seed:4";
+  o.engine = sim::EngineKind::kEvent;
+  o.json = testing::TempDir() + "pcm_fault_fallback.json";
+  std::ostringstream os;
+  EXPECT_EQ(run_cli(o, os), 0) << os.str();
+  EXPECT_NE(os.str().find("cycle engine"), std::string::npos);
+  std::ifstream f(o.json);
+  const std::string json((std::istreambuf_iterator<char>(f)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"engine\": \"cycle(fallback)\""), std::string::npos)
+      << json;
+}
+
+TEST(CliRun, StreamPartialDeliveryFailsUnlessAllowed) {
+  // A destination dies before its first delivery; the reliable stream
+  // finishes over the survivors and reports the per-receiver prefix.
+  CliOptions o;
+  o.topology = "mesh:8";
+  o.source = 0;
+  o.dests = "1,2,3";
+  o.bytes = 256;
+  o.stream = 6;
+  o.window = 2;
+  o.faults = "node:3@50";
+  std::ostringstream os;
+  EXPECT_EQ(run_cli(o, os), 1) << os.str();
+  EXPECT_NE(os.str().find("partial stream delivery"), std::string::npos);
+  EXPECT_NE(os.str().find("delivered_prefix"), std::string::npos);
+  o.allow_partial = true;
+  std::ostringstream os2;
+  EXPECT_EQ(run_cli(o, os2), 0) << os2.str();
 }
 
 }  // namespace

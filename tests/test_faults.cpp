@@ -563,6 +563,48 @@ TEST(FaultTolerantRuntime, CorruptedDeliveriesAreRetransmitted) {
   EXPECT_GT(r.retries, 0);
 }
 
+TEST(FaultTolerantRuntime, RetryExhaustionTerminatesWithPartialDelivery) {
+  // Nothing ever gets through: every send (and every repair) is dropped,
+  // so the retry ladder must exhaust --max-retries on every receiver and
+  // *terminate* with a partial delivered_fraction — not hang in the sweep
+  // loop.  The outcome must be identical under both simulator kernels
+  // (pcmcast maps this to exit 1 unless --allow-partial; 3 stays reserved
+  // for audit violations).
+  const auto topo = mesh::make_mesh2d(8);
+  rt::MulticastRuntime rtm(rt::RuntimeConfig{});
+  const auto p = analysis::sample_placements(13, 64, 8, 1)[0];
+  const int k = 8;
+  const TwoParam tp = rtm.config().machine.two_param(rtm.wire_bytes(1024, 1));
+  const MulticastTree tree = build_multicast(McastAlgorithm::kOptMesh, p.source,
+                                             p.dests, tp, &topo->shape());
+  std::vector<rt::McastResult> results;
+  for (const sim::EngineKind engine :
+       {sim::EngineKind::kCycle, sim::EngineKind::kEvent}) {
+    sim::Simulator sim(*topo, sim::SimConfig{.engine = engine});
+    sim::FaultPlan plan;
+    plan.drop_rate = 1.0;  // total loss
+    plan.seed = 3;
+    sim.set_fault_plan(plan);
+    rt::FtConfig ft;
+    ft.max_retries = 2;
+    results.push_back(rtm.run_reliable(sim, tree, 1024, ft));
+    const rt::McastResult& r = results.back();
+    EXPECT_FALSE(r.complete);
+    EXPECT_EQ(r.delivered_dests, 0);
+    EXPECT_DOUBLE_EQ(r.delivered_fraction, 1.0 / k) << "only the source holds it";
+    EXPECT_EQ(static_cast<int>(r.dead_nodes.size()), k - 1);
+    EXPECT_GT(r.retries, 0) << "the budget must actually be spent";
+  }
+  // Both engines agree bit-for-bit on the exhausted outcome.
+  const rt::McastResult& a = results[0];
+  const rt::McastResult& b = results[1];
+  EXPECT_EQ(a.latency, b.latency);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.repairs, b.repairs);
+  EXPECT_EQ(a.dead_nodes, b.dead_nodes);
+  EXPECT_DOUBLE_EQ(a.delivered_fraction, b.delivered_fraction);
+}
+
 TEST(FaultTolerantRuntime, BadFtConfigIsRejected) {
   const auto topo = mesh::make_mesh2d(4);
   rt::MulticastRuntime rtm(rt::RuntimeConfig{});

@@ -25,6 +25,9 @@ constexpr std::string_view kUsage =
     "  --jobs N        worker threads (0 = one per hardware thread; default 0;\n"
     "                  results are identical at any N)\n"
     "  --minimize N    delta-debug at most N failures (default 5)\n"
+    "  --stream        sweep streaming scenarios instead: multi-slot windowed\n"
+    "                  streams with mid-stream faults, audited end to end\n"
+    "                  (reproducers replay via pcmcast --stream)\n"
     "  --quiet         only print the summary line\n"
     "  --help          this text\n";
 
@@ -71,6 +74,8 @@ int main(int argc, char** argv) {
         cfg.max_minimized = static_cast<int>(parse_int(a, value()));
         if (cfg.max_minimized < 0)
           throw std::invalid_argument("pcmchaos: --minimize must be >= 0");
+      } else if (a == "--stream") {
+        cfg.streaming = true;
       } else if (a == "--quiet") {
         quiet = true;
       } else {
@@ -86,7 +91,11 @@ int main(int argc, char** argv) {
               << " watchdogs), mean delivered "
               << pcm::analysis::Table::num(rep.mean_delivered, 4) << ", "
               << rep.retries << " retries, " << rep.repairs << " repairs, "
-              << rep.dropped << " messages dropped\n";
+              << rep.dropped << " messages dropped";
+    if (cfg.streaming)
+      std::cout << ", " << rep.epochs << " epochs, " << rep.stale_acks
+                << " stale acks";
+    std::cout << "\n";
     return rep.violations == 0 ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
