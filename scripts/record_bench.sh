@@ -100,10 +100,49 @@ if [ "$smoke" -eq 1 ]; then
   echo "record_bench smoke: stream 64x4KB makespan window1=$mk1 window8=$mk8"
   if [ "$mk8" -lt "$mk1" ]; then
     echo "record_bench smoke: OK (window-8 stream beats stop-and-wait)"
+  else
+    echo "record_bench smoke: FAIL — windowed streaming no faster than" \
+         "stop-and-wait on the fig2 workload" >&2
+    exit 1
+  fi
+
+  # Failover gate (same fig2 parameters): kill the source mid-stream with
+  # the failure detector and succession enabled.  The run must exit 0,
+  # commit all 64 slots through exactly one failover, and finish within a
+  # fixed multiple of the clean window-8 makespan — detection plus the
+  # window replay is bounded work, not a restart of the stream.  All
+  # compared quantities are simulated cycles, so this cannot flake.
+  "$pcm" --topology mesh:16 --bytes 4096 --source 0 --dests "$dests" \
+      --stream 64 --window 8 --heartbeat 4000 --failover \
+      --faults "node:0@200000" --json "$tmp/stream_failover.json" \
+      >/dev/null || {
+    echo "record_bench smoke: FAIL — failover stream did not exit 0" >&2
+    exit 1
+  }
+  meta_of() {
+    sed -n 's/.*"'"$2"'": "\([0-9]*\)".*/\1/p' "$1"
+  }
+  fmk="$(meta_of "$tmp/stream_failover.json" makespan)"
+  fcommit="$(meta_of "$tmp/stream_failover.json" committed)"
+  fcount="$(meta_of "$tmp/stream_failover.json" failovers)"
+  if [ -z "$fmk" ] || [ -z "$fcommit" ] || [ -z "$fcount" ]; then
+    echo "record_bench smoke: FAIL — could not read failover meta" >&2
+    exit 1
+  fi
+  echo "record_bench smoke: failover stream makespan=$fmk" \
+       "committed=$fcommit failovers=$fcount (clean window8=$mk8)"
+  if [ "$fcommit" -ne 64 ] || [ "$fcount" -ne 1 ]; then
+    echo "record_bench smoke: FAIL — source kill must commit all 64 slots" \
+         "via exactly one failover" >&2
+    exit 1
+  fi
+  if [ "$fmk" -lt $((mk8 * 3)) ]; then
+    echo "record_bench smoke: OK (failover completes within 3x the clean" \
+         "window-8 makespan)"
     exit 0
   fi
-  echo "record_bench smoke: FAIL — windowed streaming no faster than" \
-       "stop-and-wait on the fig2 workload" >&2
+  echo "record_bench smoke: FAIL — failover makespan $fmk exceeds 3x the" \
+       "clean window-8 makespan $mk8" >&2
   exit 1
 fi
 

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <charconv>
 #include <fstream>
+#include <iostream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
 #include "analysis/sampling.hpp"
 #include "analysis/stats.hpp"
+#include "core/algorithms.hpp"
 #include "core/chain.hpp"
 #include "verify/chaos.hpp"
 #include "verify/invariant_auditor.hpp"
@@ -34,6 +36,19 @@ long long parse_int(std::string_view key, std::string_view value) {
   if (ec != std::errc{} || ptr != value.data() + value.size())
     throw std::invalid_argument("pcmcast: " + std::string(key) +
                                 " expects an integer, got '" + std::string(value) + "'");
+  return out;
+}
+
+/// Shared numeric-flag parser: every range-checked integer option fails
+/// the same way — exit 2 with a message naming the flag and the accepted
+/// range — instead of each flag hand-rolling its own wording.
+long long parse_uint_flag(std::string_view flag, std::string_view value,
+                          long long lo, long long hi) {
+  const long long out = parse_int(flag, value);
+  if (out < lo || out > hi)
+    throw std::invalid_argument("pcmcast: " + std::string(flag) + " must be in [" +
+                                std::to_string(lo) + ", " + std::to_string(hi) +
+                                "], got " + std::to_string(out));
   return out;
 }
 
@@ -91,10 +106,7 @@ CliOptions parse_args(std::span<const std::string_view> args) {
     } else if (a == "--json") {
       opt.json = std::string(value());
     } else if (a == "--jobs" || a == "-j") {
-      opt.jobs = static_cast<int>(parse_int(a, value()));
-      if (opt.jobs < 0 || opt.jobs > 4096)
-        throw std::invalid_argument(
-            "pcmcast: --jobs must be in [0, 4096] (0 = hardware)");
+      opt.jobs = static_cast<int>(parse_uint_flag(a, value(), 0, 4096));
     } else if (a == "--engine") {
       const std::string_view v = value();
       if (v == "cycle") {
@@ -108,23 +120,21 @@ CliOptions parse_args(std::span<const std::string_view> args) {
     } else if (a == "--faults") {
       opt.faults = std::string(value());
     } else if (a == "--max-retries") {
-      opt.max_retries = static_cast<int>(parse_int(a, value()));
-      if (opt.max_retries < 0 || opt.max_retries > 40)
-        throw std::invalid_argument("pcmcast: --max-retries must be in [0, 40]");
+      opt.max_retries = static_cast<int>(parse_uint_flag(a, value(), 0, 40));
     } else if (a == "--source") {
       opt.source = static_cast<int>(parse_int(a, value()));
     } else if (a == "--dests") {
       opt.dests = std::string(value());
     } else if (a == "--stream") {
-      opt.stream = static_cast<int>(parse_int(a, value()));
-      if (opt.stream < 1)
-        throw std::invalid_argument("pcmcast: --stream must be >= 1 slot, got " +
-                                    std::to_string(opt.stream));
+      opt.stream = static_cast<int>(parse_uint_flag(a, value(), 1, 1 << 20));
     } else if (a == "--window") {
-      opt.window = static_cast<int>(parse_int(a, value()));
-      if (opt.window < 1)
-        throw std::invalid_argument("pcmcast: --window must be >= 1 slot, got " +
-                                    std::to_string(opt.window));
+      opt.window = static_cast<int>(parse_uint_flag(a, value(), 1, 1 << 20));
+    } else if (a == "--heartbeat") {
+      opt.heartbeat = static_cast<Time>(parse_uint_flag(a, value(), 1, 1 << 30));
+    } else if (a == "--failover") {
+      opt.failover = true;
+    } else if (a == "--rejoin") {
+      opt.rejoin = true;
     } else if (a == "--probe") {
       opt.probe = true;
     } else if (a == "--compare") {
@@ -186,6 +196,13 @@ CliOptions parse_args(std::span<const std::string_view> args) {
     if (opt.window > 0 && opt.stream == 0)
       throw std::invalid_argument(
           "pcmcast: --window only applies to streams (add --stream N)");
+    if (opt.heartbeat > 0 && opt.stream == 0)
+      throw std::invalid_argument(
+          "pcmcast: --heartbeat only applies to streams (add --stream N)");
+    if ((opt.failover || opt.rejoin) && opt.heartbeat == 0)
+      throw std::invalid_argument(
+          "pcmcast: --failover/--rejoin need a failure detector "
+          "(add --heartbeat P)");
     if (opt.stream > 0) {
       if (opt.dests.empty())
         throw std::invalid_argument(
@@ -290,6 +307,15 @@ std::string usage() {
          "                     epoch-based recovery)\n"
          "  --window W         slot-ring capacity for --stream (default 8;\n"
          "                     1 = stop-and-wait, matches one-shot runs)\n"
+         "  --heartbeat P      membership lease cadence in cycles for --stream:\n"
+         "                     a deterministic failure detector suspects, then\n"
+         "                     confirms, silent members as crashed or unreachable\n"
+         "  --failover         on a confirmed source death elect a successor\n"
+         "                     (highest committed prefix, ties by node id) and\n"
+         "                     resume the stream (requires --heartbeat)\n"
+         "  --rejoin           re-admit healed (previously partitioned) receivers\n"
+         "                     at the current epoch with delta catch-up of the\n"
+         "                     slots they missed (requires --heartbeat)\n"
          "  --shuffle-chain    self-test: split the --seed-shuffled caller-order\n"
          "                     chain instead of the sorted one, deliberately\n"
          "                     voiding the contention-freedom precondition\n"
@@ -431,7 +457,7 @@ RunOutcome run_one(const MeshShape* shape, const rt::CollectiveRuntime& coll,
 /// windowed StreamRuntime.  Faults switch on reliable mode; --audit adds
 /// the channel-level auditor plus the stream-trace replay
 /// (InvariantAuditor::audit_stream).
-int run_stream_cli(const CliOptions& opt, std::ostream& os) {
+int run_stream_cli(const CliOptions& opt, std::ostream& os, std::ostream& err) {
   const auto topo = make_topology(opt.topology);
   const MeshShape* shape = mesh_shape_of(*topo);
   const std::vector<analysis::Placement> placements = make_placements(opt, *topo);
@@ -441,14 +467,15 @@ int run_stream_cli(const CliOptions& opt, std::ostream& os) {
   // Streams (and fault plans) are driven by software-time handlers that
   // re-activate the network mid-flight; the hybrid kernel would
   // materialize on the first contended cycle anyway, so downgrade up
-  // front and say so (the JSON engine field records the fallback).
+  // front and say so.  The notice goes to `err`: stdout may be consumed
+  // as a report (the JSON engine field records the fallback).
   sim::EngineKind engine = opt.engine;
   bool fell_back = false;
   if (engine == sim::EngineKind::kEvent) {
     engine = sim::EngineKind::kCycle;
     fell_back = true;
-    os << "pcmcast: streaming workloads run on the cycle engine "
-          "(--engine event downgraded)\n";
+    err << "pcmcast: streaming workloads run on the cycle engine "
+           "(--engine event downgraded)\n";
   }
 
   std::optional<sim::FaultPlan> plan;
@@ -462,14 +489,42 @@ int run_stream_cli(const CliOptions& opt, std::ostream& os) {
   scfg.bytes = opt.bytes;
   scfg.alg = alg;
   scfg.shape = shape;
-  scfg.reliable = plan.has_value();
+  scfg.reliable = plan.has_value() || opt.heartbeat > 0;
   scfg.ft.max_retries = opt.max_retries;
   scfg.record_trace = opt.audit;
+  scfg.membership.heartbeat_period = opt.heartbeat;
+  scfg.failover = opt.failover;
+  scfg.rejoin = opt.rejoin;
+  // Every epoch rebuild re-splits the chain; under --audit each adopted
+  // tree is statically re-certified (Theorem 1 over the survivor
+  // sub-chain) the same way chaos does, so a bad re-split exits 3.
+  if (opt.audit && verify::guarantees_contention_free(alg)) {
+    const sim::Topology* topo_ptr = topo.get();
+    scfg.on_reconfigure = [topo_ptr, &opt](const MulticastTree& tree) {
+      lint::LintOptions lopts;
+      lopts.max_diagnostics = 1;
+      lopts.keep_schedule = false;
+      const lint::LintReport lr =
+          lint::lint_tree(tree, *topo_ptr, rt::RuntimeConfig{}, sim::SimConfig{},
+                          opt.bytes, lopts);
+      if (!lr.clean()) {
+        std::string detail = lr.describe(tree, *topo_ptr);
+        if (const std::size_t nl = detail.find('\n'); nl != std::string::npos)
+          detail.resize(nl);
+        throw verify::InvariantViolation(verify::Invariant::kContentionFreedom,
+                                         "pcmlint rejects an epoch tree: " +
+                                             detail);
+      }
+    };
+  }
 
   os << "pcmcast: stream " << opt.algorithm << " on " << opt.topology << ", k="
      << p.dests.size() + 1 << ", " << opt.bytes << " B x " << scfg.slots
-     << " slots, window " << scfg.window_size << (opt.audit ? ", audited" : "")
-     << "\n";
+     << " slots, window " << scfg.window_size;
+  if (opt.heartbeat > 0)
+    os << ", heartbeat " << opt.heartbeat << (opt.failover ? ", failover" : "")
+       << (opt.rejoin ? ", rejoin" : "");
+  os << (opt.audit ? ", audited" : "") << "\n";
   os << "machine: " << describe(cfg.machine, opt.bytes) << "\n";
   if (plan)
     os << "faults:  " << plan->describe() << " (max-retries " << opt.max_retries
@@ -506,8 +561,8 @@ int run_stream_cli(const CliOptions& opt, std::ostream& os) {
   const double kcycles = static_cast<double>(r.makespan) / 1000.0;
   analysis::Table summary(
       {"slots", "window", "committed", "makespan", "slots/kcycle", "model/slot",
-       "messages", "conflicts", "epochs", "retries", "stale", "dead",
-       "delivered"});
+       "messages", "conflicts", "epochs", "failovers", "rejoins", "retries",
+       "stale", "dead", "delivered"});
   summary.add_row(
       {std::to_string(r.slots), std::to_string(r.window_size),
        std::to_string(r.committed), std::to_string(r.makespan),
@@ -515,19 +570,31 @@ int run_stream_cli(const CliOptions& opt, std::ostream& os) {
            kcycles > 0 ? static_cast<double>(r.committed) / kcycles : 0.0, 2),
        std::to_string(r.model_slot_latency), std::to_string(r.messages),
        std::to_string(r.channel_conflicts), std::to_string(r.epoch),
+       std::to_string(r.failovers), std::to_string(r.rejoins),
        std::to_string(r.retries), std::to_string(r.stale_acks),
        std::to_string(r.dead_nodes.size()),
        analysis::Table::num(r.delivered_fraction, 4)});
   os << "\n" << summary.to_string();
 
+  // delivered_prefix is indexed by *chain position* (algorithms sort the
+  // participant chain, so the source is not necessarily position 0);
+  // rebuild the tree exactly as StreamRuntime::run does to label rows.
+  const MulticastTree label_tree = build_multicast(
+      alg, p.source, p.dests,
+      cfg.machine.two_param(coll.multicast().wire_bytes(opt.bytes, 1)), shape);
   analysis::Table rows({"pos", "node", "delivered_prefix", "status"});
   for (size_t i = 0; i < r.delivered_prefix.size(); ++i) {
-    const NodeId node = i == 0 ? p.source : p.dests[i - 1];
+    const NodeId node = label_tree.chain.nodes[i];
     const bool dead = std::find(r.dead_nodes.begin(), r.dead_nodes.end(), node) !=
                       r.dead_nodes.end();
+    const bool unreach =
+        std::find(r.unreachable_nodes.begin(), r.unreachable_nodes.end(),
+                  node) != r.unreachable_nodes.end();
     rows.add_row({std::to_string(i), std::to_string(node),
                   std::to_string(r.delivered_prefix[i]),
-                  i == 0 ? "source" : (dead ? "dead" : "ok")});
+                  static_cast<int>(i) == label_tree.chain.source_pos
+                      ? (dead ? "source (dead)" : "source")
+                      : (dead ? "dead" : (unreach ? "unreachable" : "ok"))});
   }
   if (!r.complete) {
     os << "\nper-receiver delivered prefix:\n" << rows.to_string();
@@ -544,6 +611,8 @@ int run_stream_cli(const CliOptions& opt, std::ostream& os) {
     report.set_meta("engine", harness::engine_label(opt.engine, fell_back));
     report.set_meta("makespan", std::to_string(r.makespan));
     report.set_meta("committed", std::to_string(r.committed));
+    report.set_meta("failovers", std::to_string(r.failovers));
+    report.set_meta("rejoins", std::to_string(r.rejoins));
     report.add_table("stream", opt.csv, summary);
     report.add_table("per-receiver", opt.csv, rows);
     report.write(opt.json);
@@ -562,12 +631,16 @@ int run_stream_cli(const CliOptions& opt, std::ostream& os) {
 }  // namespace
 
 int run_cli(const CliOptions& opt, std::ostream& os) {
+  return run_cli(opt, os, std::cerr);
+}
+
+int run_cli(const CliOptions& opt, std::ostream& os, std::ostream& err) {
   if (opt.help) {
     os << usage();
     return 0;
   }
   if (opt.lint) return run_lint_cli(opt, os);
-  if (opt.stream > 0) return run_stream_cli(opt, os);
+  if (opt.stream > 0) return run_stream_cli(opt, os, err);
   const auto topo = make_topology(opt.topology);
   const MeshShape* shape = mesh_shape_of(*topo);
   std::vector<analysis::Placement> placements = make_placements(opt, *topo);
@@ -594,14 +667,15 @@ int run_cli(const CliOptions& opt, std::ostream& os) {
 
   // Fault workloads re-activate the network from software-time handlers,
   // which forces the hybrid kernel to materialize immediately; downgrade
-  // up front with a notice instead (results are bit-identical anyway).
+  // up front with a notice on `err` instead (results are bit-identical
+  // anyway, and stdout may be consumed as a report).
   sim::EngineKind engine = opt.engine;
   bool fell_back = false;
   if (plan.has_value() && engine == sim::EngineKind::kEvent) {
     engine = sim::EngineKind::kCycle;
     fell_back = true;
-    os << "pcmcast: fault workloads run on the cycle engine "
-          "(--engine event downgraded)\n";
+    err << "pcmcast: fault workloads run on the cycle engine "
+           "(--engine event downgraded)\n";
   }
 
   if (opt.probe) {

@@ -40,6 +40,9 @@ struct CliOptions {
   std::string dests;                    ///< explicit comma-separated destinations
   int stream = 0;                       ///< --stream N: slots to stream (0 = one-shot)
   int window = 0;                       ///< --window W: slot ring size (0 = default 8)
+  Time heartbeat = 0;                   ///< --heartbeat P: membership lease cadence
+  bool failover = false;                ///< --failover: elect a successor source
+  bool rejoin = false;                  ///< --rejoin: re-admit healed receivers
   bool probe = false;                   ///< measure (t_hold, t_end) first
   bool compare = false;                 ///< run every applicable algorithm
   bool gantt = false;                   ///< print a message Gantt for rep 0
@@ -69,10 +72,15 @@ const MeshShape* mesh_shape_of(const sim::Topology& topo);
 /// Usage text.
 std::string usage();
 
-/// Runs the experiment described by `opt` and writes the report to `os`.
-/// Returns the process exit code: 0 on success, 1 when a fault run lost
-/// destinations and --allow-partial was not given, 3 when --audit caught
-/// an invariant violation.  (2 is the caller's catch-all for errors.)
+/// Runs the experiment described by `opt` and writes the report to `os`;
+/// diagnostics that must not pollute machine-readable stdout (the
+/// --engine event downgrade notice) go to `err`.  Returns the process
+/// exit code: 0 on success, 1 when a fault run lost destinations and
+/// --allow-partial was not given, 3 when --audit caught an invariant
+/// violation.  (2 is the caller's catch-all for errors.)
+int run_cli(const CliOptions& opt, std::ostream& os, std::ostream& err);
+
+/// Convenience overload: diagnostics go to std::cerr.
 int run_cli(const CliOptions& opt, std::ostream& os);
 
 /// Static-analysis driver behind `pcmcast --lint` and the `pcmlint`

@@ -1,6 +1,7 @@
 #include "runtime/stream_runtime.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
 #include "core/opt_tree.hpp"
@@ -161,8 +162,8 @@ StreamResult stream_fast(const MulticastRuntime& rtm, sim::Simulator& sim,
 // receiver never wedges the window.
 // ---------------------------------------------------------------------------
 StreamResult stream_reliable(const MulticastRuntime& rtm, sim::Simulator& sim,
-                             NodeId source, const MulticastTree& orig,
-                             TwoParam tp, const StreamConfig& cfg, Time t0) {
+                             const MulticastTree& orig, TwoParam tp,
+                             const StreamConfig& cfg, Time t0) {
   const FtConfig& ft = cfg.ft;
   if (ft.max_retries < 0 || ft.max_retries > 40)
     throw std::invalid_argument("stream: max_retries out of [0, 40]");
@@ -214,13 +215,45 @@ StreamResult stream_reliable(const MulticastRuntime& rtm, sim::Simulator& sim,
     cur_of_orig[static_cast<std::size_t>(p)] = p;
   }
 
+  // `acting` is the orig position currently producing the stream; failover
+  // reassigns it.  All "source" special cases below key off `acting`, so a
+  // successor inherits them wholesale.
+  int acting = src;
   std::vector<char> dead(static_cast<std::size_t>(k), 0);
-  // delivered[pos][slot]; the source trivially holds every slot.
+  // Evicted-as-unreachable positions (dead[] is also set); a heal may
+  // clear both and rejoin the position at the then-current epoch.
+  std::vector<char> parted(static_cast<std::size_t>(k), 0);
+  // delivered[pos][slot]; the acting source trivially holds every slot.
   std::vector<std::vector<char>> delivered(
       static_cast<std::size_t>(k),
       std::vector<char>(static_cast<std::size_t>(slots), 0));
   delivered[static_cast<std::size_t>(src)].assign(
       static_cast<std::size_t>(slots), 1);
+
+  // Deterministic lease-based failure detection (heartbeats are modeled
+  // against live fault state, see membership.hpp; member index == orig
+  // chain position by construction).
+  const Time hb_period = cfg.membership.heartbeat_period;
+  const bool hb_on = hb_period > 0;
+  std::optional<MembershipService> member;
+  if (hb_on) {
+    std::vector<NodeId> nodes(static_cast<std::size_t>(k));
+    for (int p = 0; p < k; ++p) nodes[static_cast<std::size_t>(p)] = orig.node(p);
+    member.emplace(sim, std::move(nodes), cfg.membership);
+  }
+  Time next_hb = hb_on ? t0 + hb_period : kTimeInfinity;
+  // No heal can arrive after the last fault-plan event plus one full
+  // confirm ladder; past this the run stops waiting for rejoins.
+  Time heal_horizon = t0;
+  if (hb_on) {
+    Time last_ev = 0;
+    for (const sim::FaultPlan::LinkEvent& ev : sim.fault_plan().link_events)
+      last_ev = std::max(last_ev, ev.cycle);
+    for (const sim::FaultPlan::NodeEvent& ev : sim.fault_plan().node_events)
+      last_ev = std::max(last_ev, ev.cycle);
+    heal_horizon =
+        last_ev + hb_period * (cfg.membership.confirm_after + 2);
+  }
 
   struct Ring {
     int slot = -1;
@@ -375,7 +408,7 @@ StreamResult stream_reliable(const MulticastRuntime& rtm, sim::Simulator& sim,
   auto survivors_count = [&]() {
     int n = 0;
     for (int p = 0; p < k; ++p)
-      if (p != src && !dead[static_cast<std::size_t>(p)]) ++n;
+      if (p != acting && !dead[static_cast<std::size_t>(p)]) ++n;
     return n;
   };
 
@@ -396,34 +429,24 @@ StreamResult stream_reliable(const MulticastRuntime& rtm, sim::Simulator& sim,
       const int slot = injected++;
       ring[static_cast<std::size_t>(slot % window)] =
           Ring{slot, survivors_count(), std::max(at, t0)};
-      trace(StreamEvent::Kind::kInject, std::max(at, t0), slot, epoch, src);
+      trace(StreamEvent::Kind::kInject, std::max(at, t0), slot, epoch, acting);
       res.max_window_occupancy =
           std::max(res.max_window_occupancy, injected - frontier);
       activate(slot, cur.chain.source_pos, std::max(at, t0));
     }
   };
 
-  // Epoch-based reconfiguration: declare `dpos` dead, invalidate every
-  // open record (their in-flight deliveries will be rejected as stale),
-  // re-split the chain over the survivors, and replay each uncommitted
-  // slot from the source into the new tree.
-  auto bump_epoch = [&](int dpos, Time now) {
-    dead[static_cast<std::size_t>(dpos)] = 1;
-    res.dead_nodes.push_back(orig.node(dpos));
-    ++epoch;
-    trace(StreamEvent::Kind::kEpoch, now, -1, epoch, dpos);
-    for (Rec& r : recs) r.closed = true;
-    for (int s = frontier; s < injected; ++s) {
-      Ring& rg = ring[static_cast<std::size_t>(s % window)];
-      if (!delivered[static_cast<std::size_t>(dpos)][static_cast<std::size_t>(s)])
-        --rg.need;  // the dead receiver no longer gates this commit
-    }
+  // Rebuilds the current tree over the live members rooted at the acting
+  // source, re-activates every injected-but-uncommitted slot into it, and
+  // refills the window.  Shared tail of every epoch transition.
+  auto rebuild = [&](Time now) {
     std::vector<NodeId> surv;
     for (int p = 0; p < k; ++p)
-      if (p != src && !dead[static_cast<std::size_t>(p)])
+      if (p != acting && !dead[static_cast<std::size_t>(p)])
         surv.push_back(orig.node(p));
     if (!surv.empty()) {
-      cur = build_multicast(cfg.alg, source, surv, tp, cfg.shape);
+      cur = build_multicast(cfg.alg, orig.node(acting), surv, tp, cfg.shape);
+      if (cfg.on_reconfigure) cfg.on_reconfigure(cur);
       orig_of_cur.assign(static_cast<std::size_t>(cur.num_nodes()), -1);
       cur_of_orig.assign(static_cast<std::size_t>(k), -1);
       for (int cp = 0; cp < cur.num_nodes(); ++cp) {
@@ -436,6 +459,138 @@ StreamResult stream_reliable(const MulticastRuntime& rtm, sim::Simulator& sim,
           activate(s, cur.chain.source_pos, now);
     }
     pump(now);
+  };
+
+  // Epoch-based eviction: declare `dpos` gone, invalidate every open
+  // record (their in-flight deliveries will be rejected as stale),
+  // re-split the chain over the survivors, and replay each uncommitted
+  // slot from the source into the new tree.  A partitioned eviction is
+  // rejoinable; a fail-stop one is permanent.
+  auto evict_pos = [&](int dpos, Time now, bool partitioned) {
+    dead[static_cast<std::size_t>(dpos)] = 1;
+    if (partitioned)
+      parted[static_cast<std::size_t>(dpos)] = 1;
+    else
+      res.dead_nodes.push_back(orig.node(dpos));
+    ++epoch;
+    trace(partitioned ? StreamEvent::Kind::kPartition : StreamEvent::Kind::kEpoch,
+          now, -1, epoch, dpos);
+    for (Rec& r : recs) r.closed = true;
+    for (int s = frontier; s < injected; ++s) {
+      Ring& rg = ring[static_cast<std::size_t>(s % window)];
+      if (!delivered[static_cast<std::size_t>(dpos)][static_cast<std::size_t>(s)])
+        --rg.need;  // the evicted receiver no longer gates this commit
+    }
+    rebuild(now);
+  };
+
+  // Source succession: the alive member with the highest committed prefix
+  // (ties by lowest node id) on the plurality side of any cut takes over
+  // production.  Returns false when the stream cannot continue (failover
+  // disabled or no eligible successor).
+  auto do_failover = [&](Time now) {
+    dead[static_cast<std::size_t>(acting)] = 1;
+    res.dead_nodes.push_back(orig.node(acting));
+    // A deposed source never rejoins: pin it crashed in the detector even
+    // when the confirm classified it unreachable.
+    member->evict(acting, false);
+    if (!cfg.failover) return false;
+    const std::vector<int> plur = member->plurality_members();
+    int succ = -1;
+    int best = -1;
+    for (int p = 0; p < k; ++p) {
+      if (p == acting || dead[static_cast<std::size_t>(p)]) continue;
+      if (std::find(plur.begin(), plur.end(), p) == plur.end()) continue;
+      int prefix = 0;
+      while (prefix < slots &&
+             delivered[static_cast<std::size_t>(p)][static_cast<std::size_t>(prefix)])
+        ++prefix;
+      if (prefix > best || (prefix == best && orig.node(p) < orig.node(succ))) {
+        succ = p;
+        best = prefix;
+      }
+    }
+    if (succ < 0) return false;
+    ++epoch;
+    ++res.failovers;
+    trace(StreamEvent::Kind::kFailover, now, best, epoch, succ);
+    for (Rec& r : recs) r.closed = true;
+    // The successor stops gating in-flight commits (it regenerates any
+    // slot it lacks from its replicated ring / the deterministic payload).
+    for (int s = frontier; s < injected; ++s) {
+      Ring& rg = ring[static_cast<std::size_t>(s % window)];
+      if (!delivered[static_cast<std::size_t>(succ)][static_cast<std::size_t>(s)])
+        --rg.need;
+    }
+    delivered[static_cast<std::size_t>(succ)].assign(
+        static_cast<std::size_t>(slots), 1);
+    acting = succ;
+    rebuild(now);
+    return true;
+  };
+
+  // Healed partition: re-admit `p` at a fresh epoch.  In-flight slots are
+  // replayed through the rebuilt (p-inclusive) tree; committed slots p
+  // missed are delta-caught-up with dedicated unicast records.
+  auto rejoin_pos = [&](int p, Time now) {
+    dead[static_cast<std::size_t>(p)] = 0;
+    parted[static_cast<std::size_t>(p)] = 0;
+    member->readmit(p);
+    ++epoch;
+    ++res.rejoins;
+    int prefix = 0;
+    while (prefix < slots &&
+           delivered[static_cast<std::size_t>(p)][static_cast<std::size_t>(prefix)])
+      ++prefix;
+    trace(StreamEvent::Kind::kRejoin, now, prefix, epoch, p);
+    for (Rec& r : recs) r.closed = true;
+    for (int s = frontier; s < injected; ++s) {
+      Ring& rg = ring[static_cast<std::size_t>(s % window)];
+      if (!delivered[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)])
+        ++rg.need;  // p gates in-flight commits again
+    }
+    rebuild(now);
+    for (int s = prefix; s < std::min(frontier, slots); ++s)
+      if (!delivered[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)])
+        new_rec(s, acting, p, cur_of_orig[static_cast<std::size_t>(p)], {p},
+                false, now);
+  };
+
+  // One heartbeat sweep: apply the detector's verdicts.  Returns false
+  // when the stream must halt (source gone, no failover possible).  After
+  // a failover the remaining verdicts of this sweep are stale (they were
+  // adjudicated from the deposed observer) and are dropped; the next
+  // sweep re-evaluates from the successor.
+  auto on_heartbeat = [&](Time now) {
+    const std::vector<MembershipEvent> evs = member->sweep(orig.node(acting));
+    for (const MembershipEvent& ev : evs) {
+      const int p = ev.member;
+      switch (ev.kind) {
+        case MembershipEvent::Kind::kSuspect:
+          if (!dead[static_cast<std::size_t>(p)]) {
+            ++res.suspects;
+            trace(StreamEvent::Kind::kSuspect, now, -1, epoch, p);
+          }
+          break;
+        case MembershipEvent::Kind::kClear:
+          if (!dead[static_cast<std::size_t>(p)])
+            trace(StreamEvent::Kind::kClear, now, -1, epoch, p);
+          break;
+        case MembershipEvent::Kind::kCrashed:
+          if (p == acting) return do_failover(now);
+          if (!dead[static_cast<std::size_t>(p)]) evict_pos(p, now, false);
+          break;
+        case MembershipEvent::Kind::kUnreachable:
+          if (p == acting) return do_failover(now);
+          if (!dead[static_cast<std::size_t>(p)]) evict_pos(p, now, true);
+          break;
+        case MembershipEvent::Kind::kHealed:
+          if (cfg.rejoin && parted[static_cast<std::size_t>(p)])
+            rejoin_pos(p, now);
+          break;
+      }
+    }
+    return true;
   };
 
   sim.set_delivery_handler([&](const sim::Message& m) {
@@ -505,8 +660,17 @@ StreamResult stream_reliable(const MulticastRuntime& rtm, sim::Simulator& sim,
 
   pump(t0);
 
+  auto any_parted = [&]() {
+    for (int p = 0; p < k; ++p)
+      if (parted[static_cast<std::size_t>(p)]) return true;
+    return false;
+  };
+
   long guard = 0;
-  const long guard_max = 1000 + 64L * (k + slots) * (ft.max_retries + 2);
+  long guard_max = 1000 + 64L * (k + slots) * (ft.max_retries + 2);
+  if (hb_on)
+    guard_max +=
+        64 + static_cast<long>((heal_horizon - t0) / std::max<Time>(1, hb_period));
   for (;;) {
     Time horizon = kTimeInfinity;
     bool open = false;
@@ -517,21 +681,44 @@ StreamResult stream_reliable(const MulticastRuntime& rtm, sim::Simulator& sim,
           std::min(horizon, rec.acked ? rec.subtree_deadline : rec.ack_deadline);
     }
     if (!open) {
-      if (frontier >= slots || ++guard > guard_max) {
-        sim.run_until_idle();  // drain duplicates and purging worms
-        break;
+      // With rejoin enabled, a drained stream still waits out the heal
+      // horizon while evicted-as-unreachable members might come back.
+      const bool heal_pending =
+          hb_on && cfg.rejoin && any_parted() && next_hb <= heal_horizon;
+      if (!heal_pending) {
+        if (frontier >= slots || ++guard > guard_max) {
+          sim.run_until_idle();  // drain duplicates and purging worms
+          break;
+        }
+        // No records in flight but slots remain: only possible transiently
+        // (e.g. every survivor died); pump either finishes or re-opens.
+        pump(std::max(sim.now(), t0));
+        continue;
       }
-      // No records in flight but slots remain: only possible transiently
-      // (e.g. every survivor died); pump either finishes or re-opens.
-      pump(std::max(sim.now(), t0));
-      continue;
+      horizon = next_hb;
     }
     if (++guard > guard_max) {
       sim.run_until_idle();
       break;
     }
+    if (hb_on) horizon = std::min(horizon, next_hb);
     sim.run_until_idle(horizon);
+    // An idle network freezes the simulated clock, which would also freeze
+    // pending fault-plan events (e.g. the heal this run is waiting for);
+    // roll the clock forward explicitly so membership sees them.
+    if (hb_on && sim.idle()) sim.advance_idle_to(horizon);
     const Time now = std::max(sim.now(), horizon);
+
+    if (hb_on && now >= next_hb) {
+      while (next_hb <= now) next_hb += hb_period;
+      if (!on_heartbeat(now)) {
+        // The source is gone and no successor could take over: the stream
+        // ends here with whatever committed (complete stays false).
+        sim.run_until_idle();
+        break;
+      }
+      continue;  // membership may have closed/reissued records; re-plan
+    }
 
     std::vector<std::size_t> retx;
     struct Job {
@@ -590,7 +777,16 @@ StreamResult stream_reliable(const MulticastRuntime& rtm, sim::Simulator& sim,
       }
     }
     if (death >= 0) {
-      bump_epoch(death, now);
+      // Retry exhaustion alone cannot tell a crash from a cut; when the
+      // detector is on, consult reachability so a partitioned receiver is
+      // evicted rejoinably instead of declared dead forever.
+      bool partitioned = false;
+      if (hb_on) {
+        partitioned =
+            !member->round_trip_reachable(orig.node(acting), orig.node(death));
+        member->evict(death, partitioned);
+      }
+      evict_pos(death, now, partitioned);
       continue;
     }
     for (std::size_t ri : retx) {
@@ -608,16 +804,15 @@ StreamResult stream_reliable(const MulticastRuntime& rtm, sim::Simulator& sim,
   long long pairs = 0;
   bool all = true;
   for (int p = 0; p < k; ++p) {
-    if (p == src) {
-      res.delivered_prefix[static_cast<std::size_t>(p)] = slots;
-      continue;
-    }
     const auto& got = delivered[static_cast<std::size_t>(p)];
     int prefix = 0;
     while (prefix < slots && got[static_cast<std::size_t>(prefix)]) ++prefix;
     res.delivered_prefix[static_cast<std::size_t>(p)] = prefix;
+    if (p == src) continue;  // the original source is not a receiver
     for (int s = 0; s < slots; ++s) pairs += got[static_cast<std::size_t>(s)];
     all = all && prefix == slots;
+    if (parted[static_cast<std::size_t>(p)])
+      res.unreachable_nodes.push_back(orig.node(p));
   }
   res.complete = all;
   res.delivered_fraction =
@@ -632,6 +827,7 @@ StreamResult stream_reliable(const MulticastRuntime& rtm, sim::Simulator& sim,
   res.flit_hops = sim.stats().flit_hops - base_hops;
   res.sim_cycles = sim.stats().cycles - base_cycles;
   std::sort(res.dead_nodes.begin(), res.dead_nodes.end());
+  std::sort(res.unreachable_nodes.begin(), res.unreachable_nodes.end());
   return res;
 }
 
@@ -649,12 +845,25 @@ StreamResult StreamRuntime::run(sim::Simulator& sim, NodeId source,
   if (sim.fault_plan_active() && !cfg.reliable)
     throw std::logic_error(
         "StreamRuntime::run: fault plan installed; set StreamConfig::reliable");
+  if (cfg.membership.heartbeat_period < 0)
+    throw std::invalid_argument("stream: heartbeat period must be >= 0");
+  const bool hb = cfg.membership.heartbeat_period > 0;
+  if (hb && !cfg.reliable)
+    throw std::invalid_argument("stream: membership requires reliable mode");
+  if (hb && (cfg.membership.suspect_after < 1 ||
+             cfg.membership.confirm_after <= cfg.membership.suspect_after))
+    throw std::invalid_argument(
+        "stream: need 1 <= suspect_after < confirm_after");
+  if ((cfg.failover || cfg.rejoin) && !hb)
+    throw std::invalid_argument(
+        "stream: failover/rejoin require a heartbeat period");
   if (t0 < sim.now()) t0 = sim.now();
   const TwoParam tp =
       rtm_.config().machine.two_param(rtm_.wire_bytes(cfg.bytes, 1));
   const MulticastTree tree =
       build_multicast(cfg.alg, source, dests, tp, cfg.shape);
-  return cfg.reliable ? stream_reliable(rtm_, sim, source, tree, tp, cfg, t0)
+  if (cfg.on_reconfigure) cfg.on_reconfigure(tree);
+  return cfg.reliable ? stream_reliable(rtm_, sim, tree, tp, cfg, t0)
                       : stream_fast(rtm_, sim, tree, cfg, t0);
 }
 

@@ -23,13 +23,22 @@
 // sweeps) and, at window_size == 1, executes each slot cycle-for-cycle
 // identically to a chain of MulticastRuntime::run() calls — the
 // equivalence tests/test_stream.cpp pins.
+// Group membership rides on top (DESIGN.md §6.7): when
+// StreamConfig::membership enables a heartbeat cadence, a deterministic
+// MembershipService lease ladder distinguishes crashed receivers from
+// partitioned (unreachable) ones, a confirmed-dead *source* hands the
+// stream to a deterministic successor (highest committed prefix, ties by
+// node id) under `failover`, and healed partitions rejoin the group with
+// delta catch-up of missed slots under `rejoin`.
 #pragma once
 
+#include <functional>
 #include <span>
 #include <vector>
 
 #include "core/algorithms.hpp"
 #include "runtime/mcast_runtime.hpp"
+#include "runtime/membership.hpp"
 #include "sim/simulator.hpp"
 
 namespace pcm::rt {
@@ -50,6 +59,20 @@ struct StreamConfig {
   /// Keep per-slot per-position receive-completion times (slot_recv);
   /// memory is slots x group size, so leave off for long streams.
   bool record_slot_times = false;
+  /// Lease-based failure detection (reliable mode only).  A zero
+  /// heartbeat_period disables membership entirely — behaviour is then
+  /// bit-identical to a membership-free build.
+  MembershipConfig membership;
+  /// On a confirmed source death, elect a successor and resume the stream
+  /// (requires membership).  Without it a dead source ends the stream.
+  bool failover = false;
+  /// Re-admit healed (previously unreachable) receivers at the current
+  /// epoch with delta catch-up of their missed slots (requires membership).
+  bool rejoin = false;
+  /// Called with every multicast tree the stream adopts (the initial tree
+  /// and each epoch rebuild).  CLI/chaos hook this to pcmlint so
+  /// Theorem-1 contention-freedom is re-checked on every re-split.
+  std::function<void(const MulticastTree&)> on_reconfigure;
 };
 
 /// One entry of the stream trace (enabled by StreamConfig::record_trace).
@@ -67,6 +90,14 @@ struct StreamEvent {
                 ///< epoch began and was rejected (never advances state)
     kFrontier,  ///< cumulative ack frontier advanced past `slot`
     kEpoch,     ///< epoch bumped to `epoch` (pos = chain position declared dead)
+    kSuspect,   ///< failure detector suspects `pos` (informational)
+    kClear,     ///< suspicion of `pos` cleared by a renewed lease
+    kPartition, ///< epoch bumped to `epoch`: `pos` confirmed unreachable
+                ///< (evicted but rejoinable, unlike kEpoch's fail-stop)
+    kRejoin,    ///< epoch bumped to `epoch`: healed `pos` re-admitted with
+                ///< delivered prefix `slot` (delta catch-up covers the rest)
+    kFailover,  ///< epoch bumped to `epoch`: `pos` is the new source; its
+                ///< committed prefix `slot` never regresses the frontier
   };
   Kind kind = Kind::kInject;
   Time t = 0;     ///< software time of the event
@@ -94,7 +125,13 @@ struct StreamResult {
   int stale_acks = 0;           ///< old-epoch deliveries rejected
   int duplicate_deliveries = 0;
   int max_window_occupancy = 0;  ///< peak injected-but-uncommitted slots
+  int failovers = 0;             ///< source successions performed
+  int rejoins = 0;               ///< healed receivers re-admitted
+  int suspects = 0;              ///< suspicion episodes raised
   std::vector<NodeId> dead_nodes;  ///< sorted, unique
+  /// Nodes still evicted-as-unreachable when the run ended (a rejoin
+  /// removes the node from this set).  Sorted, unique.
+  std::vector<NodeId> unreachable_nodes;
   /// Per original chain position: contiguous slots delivered starting at
   /// slot 0 (the "delivered prefix"); the source's entry is `slots`.
   std::vector<int> delivered_prefix;

@@ -30,6 +30,8 @@
 
 namespace pcm::sim {
 
+class Topology;
+
 /// Why a message was removed from the network without being delivered.
 enum class DropReason {
   kNone,
@@ -54,28 +56,59 @@ struct FaultPlan {
     NodeId node = kInvalidNode;
     bool operator==(const NodeEvent&) const = default;
   };
+  struct CutChannel {
+    int router = 0;
+    int port = 0;
+    bool operator==(const CutChannel&) const = default;
+  };
+  /// A partition (up=false) or heal (up=true) of a whole channel set at
+  /// one cycle.  The simulator lowers each cut into per-channel link
+  /// events at install time; keeping the grouped form in the plan lets
+  /// to_spec() round-trip the spec the user actually wrote.
+  struct CutEvent {
+    Time cycle = 0;
+    bool up = false;
+    std::vector<CutChannel> channels;
+    bool operator==(const CutEvent&) const = default;
+  };
 
   std::vector<LinkEvent> link_events;   ///< applied in cycle order
   std::vector<NodeEvent> node_events;   ///< fail-stop (nodes never recover)
+  std::vector<CutEvent> cut_events;     ///< partition/heal channel groups
   double drop_rate = 0.0;               ///< per head-flit link crossing
   double corrupt_rate = 0.0;            ///< per delivered message
   std::uint64_t seed = 0;               ///< substream seed for the rates
 
   [[nodiscard]] bool empty() const {
-    return link_events.empty() && node_events.empty() && drop_rate == 0.0 &&
-           corrupt_rate == 0.0;
+    return link_events.empty() && node_events.empty() && cut_events.empty() &&
+           drop_rate == 0.0 && corrupt_rate == 0.0;
   }
 
   /// Parses a `--faults` spec: semicolon-separated clauses
   ///   link:R,P@C     channel (router R, out-port P) down from cycle C
   ///   linkup:R,P@C   the same channel restored at cycle C
   ///   node:N@C       node N fail-stops at cycle C
-  ///   drop:RATE      per-hop message drop probability in [0, 1)
-  ///   corrupt:RATE   per-delivery corruption probability in [0, 1)
+  ///   partition:R,P|R,P|...@C   every listed channel down at cycle C
+  ///   heal:R,P|R,P|...@C        every listed channel restored at cycle C
+  ///   drop:RATE      per-hop message drop probability in [0, 1]
+  ///   corrupt:RATE   per-delivery corruption probability in [0, 1]
   ///   seed:S         substream seed for the rates (default 0)
   /// e.g. "node:42@1500;drop:0.001;seed:7".  Throws std::invalid_argument
   /// with a one-line diagnostic on malformed input.
   static FaultPlan parse(const std::string& spec);
+
+  /// Builds the plan that splits a direct network into `region_a` and
+  /// `region_b` at cycle `t_down` and heals it at `t_up` (pass t_up < 0
+  /// for a permanent cut).  The two regions must be disjoint and jointly
+  /// cover every node of `topo`; the emitted cut set is minimal — exactly
+  /// the directed channels whose endpoints' attached nodes lie in
+  /// different regions.  Throws std::invalid_argument on uncovered or
+  /// doubly-assigned nodes, on switch-only routers (indirect networks
+  /// have no node-derived sides), or on an empty cut.
+  static FaultPlan partition(const Topology& topo,
+                             const std::vector<NodeId>& region_a,
+                             const std::vector<NodeId>& region_b, Time t_down,
+                             Time t_up);
 
   /// One-line human-readable summary for preambles and reports.
   [[nodiscard]] std::string describe() const;

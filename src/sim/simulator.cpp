@@ -98,6 +98,17 @@ Simulator::~Simulator() = default;  // EventEngine is complete here
 void Simulator::set_fault_plan(FaultPlan plan) {
   if (cycle_ != 0 || messages_.size() != 0)
     throw std::logic_error("set_fault_plan: must be installed before any traffic");
+  // Lower partition/heal cut events into plain link events: the cycle loop
+  // only ever consults link_events, so a cut is exactly its member links
+  // going down (or back up) at the cut's cycle.  The cut events stay in the
+  // plan for to_spec() round-tripping.
+  for (const FaultPlan::CutEvent& cut : plan.cut_events) {
+    if (cut.cycle < 0)
+      throw std::invalid_argument("FaultPlan: negative event cycle");
+    for (const FaultPlan::CutChannel& ch : cut.channels)
+      plan.link_events.push_back(
+          FaultPlan::LinkEvent{cut.cycle, ch.router, ch.port, cut.up});
+  }
   for (const FaultPlan::LinkEvent& ev : plan.link_events) {
     if (ev.router < 0 || ev.router >= topo_.num_routers() || ev.port < 0 ||
         ev.port >= radix_)
@@ -109,9 +120,11 @@ void Simulator::set_fault_plan(FaultPlan plan) {
       throw std::invalid_argument("FaultPlan: node event outside topology");
     if (ev.cycle < 0) throw std::invalid_argument("FaultPlan: negative event cycle");
   }
-  if (plan.drop_rate < 0 || plan.drop_rate >= 1 || plan.corrupt_rate < 0 ||
-      plan.corrupt_rate >= 1)
-    throw std::invalid_argument("FaultPlan: rates must be in [0, 1)");
+  // Rate 1.0 is admitted: "drop everything" is the retry-exhaustion test's
+  // total-loss scenario (fault_uniform draws in [0, 1), so u < 1.0 always).
+  if (plan.drop_rate < 0 || plan.drop_rate > 1 || plan.corrupt_rate < 0 ||
+      plan.corrupt_rate > 1)
+    throw std::invalid_argument("FaultPlan: rates must be in [0, 1]");
   std::stable_sort(plan.link_events.begin(), plan.link_events.end(),
                    [](const auto& a, const auto& b) { return a.cycle < b.cycle; });
   std::stable_sort(plan.node_events.begin(), plan.node_events.end(),
@@ -120,6 +133,15 @@ void Simulator::set_fault_plan(FaultPlan plan) {
   plan_ = std::move(plan);
   next_link_event_ = 0;
   next_node_event_ = 0;
+}
+
+void Simulator::advance_idle_to(Time cycle) {
+  if (!idle())
+    throw std::logic_error("advance_idle_to: traffic is still pending");
+  if (cycle <= cycle_) return;
+  cycle_ = cycle;
+  if (faults_active_) apply_due_faults();
+  stats_.cycles = cycle_;
 }
 
 MsgId Simulator::post(Message m) {

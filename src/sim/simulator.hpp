@@ -151,6 +151,33 @@ class Simulator {
   /// instead of discovering mid-run that messages can be lost.
   [[nodiscard]] bool fault_plan_active() const { return faults_active_; }
 
+  /// The installed plan (normalized: cut events lowered into link events,
+  /// both event lists sorted by cycle).  Runtimes use it to bound how long
+  /// a heal can still arrive.
+  [[nodiscard]] const FaultPlan& fault_plan() const { return plan_; }
+
+  /// True once node `n` has fail-stopped.  A membership service reads this
+  /// as "the node no longer answers probes" — observationally what a lease
+  /// timeout would measure, without perturbing the schedule.
+  [[nodiscard]] bool node_failed(NodeId n) const {
+    return node_dead_[static_cast<std::size_t>(n)] != 0;
+  }
+
+  /// True while channel `c` is up per the applied link events.  Unlike the
+  /// internal channel_down(), a dead *ejector node* does not mark the
+  /// channel down here: reachability probes separate link cuts (healable)
+  /// from node death (permanent).
+  [[nodiscard]] bool channel_live(ChannelId c) const {
+    return channel_dead_[static_cast<std::size_t>(c)] == 0;
+  }
+
+  /// Advances the clock to `cycle` while the simulator is idle, applying
+  /// any fault-plan events that fall due in the jumped-over span.  Lets a
+  /// runtime observe link heals scheduled after all traffic has drained
+  /// (run_until_idle returns immediately on an idle network and would
+  /// never reach them).  Throws std::logic_error if traffic is pending.
+  void advance_idle_to(Time cycle);
+
   /// Forensic snapshot of the current network state (stalled messages,
   /// reservation graph, suspected deadlock cycle).  Cheap enough to call
   /// from tests; the watchdog uses it for its exception payload.

@@ -13,6 +13,7 @@
 #include "core/multicast_tree.hpp"
 #include "harness/substream.hpp"
 #include "harness/thread_pool.hpp"
+#include "lint/lint.hpp"
 #include "mesh/mesh_topology.hpp"
 #include "runtime/mcast_runtime.hpp"
 #include "runtime/stream_runtime.hpp"
@@ -103,7 +104,8 @@ ChaosScenario make_scenario(std::uint64_t root_seed, int index) {
   s.bytes = kSizes[rng.below(4)];
 
   // Fault composition: node fail-stops among the destinations (never the
-  // source — the protocol has no source-failover), link cuts anywhere
+  // source — one-shot runs have no source failover; streaming succession
+  // lives in make_stream_scenario), link cuts anywhere
   // (some restored), and per-hop / per-delivery rates.  Roughly 1/12 of
   // scenarios end up fault-free, exercising the plain-run audit path.
   sim::FaultPlan& plan = s.plan;
@@ -163,21 +165,49 @@ ChaosScenario make_stream_scenario(std::uint64_t root_seed, int index) {
   static constexpr int kWindows[] = {1, 2, 4, 8};
   s.stream_window = kWindows[rng.below(4)];
 
-  // Mid-stream faults: node kills land while the window is in flight, and
-  // the loss rates stay modest so retry ladders terminate well inside the
-  // deadline budget.  ~1/5 of scenarios stay fault-free, exercising both
-  // the fast path's audit and the reliable path's healthy schedule.
+  // Membership families (~1/3 of scenarios): the lease detector rides on
+  // the stream.  Source kills exercise failover succession; mesh cuts
+  // from FaultPlan::partition exercise eviction, heal, and rejoin.  The
+  // remaining scenarios keep the legacy mid-stream composition: node
+  // kills while the window is in flight and modest loss rates so retry
+  // ladders terminate well inside the deadline budget; ~1/5 of those stay
+  // fault-free, exercising both the fast path's audit and the reliable
+  // path's healthy schedule.
   sim::FaultPlan& plan = s.plan;
-  if (rng.below(100) < 55) {
-    const int kills = 1 + (rng.below(100) < 25 ? 1 : 0);
-    for (int i = 0; i < kills; ++i) {
-      const NodeId victim = s.dests[rng.below(s.dests.size())];
-      plan.node_events.push_back(
-          {static_cast<Time>(100 + rng.below(20000)), victim});
+  const std::uint64_t family = rng.below(100);
+  if (family < 20) {
+    // Source fail-stop mid-stream: the survivor with the deepest
+    // committed prefix (ties by node id) resumes the stream.
+    s.heartbeat = 300 + static_cast<Time>(rng.below(1201));
+    s.failover = true;
+    s.rejoin = rng.below(100) < 50;
+    plan.node_events.push_back(
+        {static_cast<Time>(500 + rng.below(8000)), s.source});
+    if (rng.below(100) < 30) plan.drop_rate = 0.001 + rng.uniform() * 0.005;
+  } else if (family < 35 && is_mesh) {
+    // Partition-then-heal: cut the mesh into node-id halves long enough
+    // for the confirm ladder to evict the far side (sometimes short
+    // enough to heal first), then re-admit the survivors via rejoin.
+    s.heartbeat = 300 + static_cast<Time>(rng.below(1201));
+    s.rejoin = true;
+    s.failover = rng.below(100) < 50;
+    std::vector<NodeId> lo, hi;
+    for (NodeId v = 0; v < n; ++v) (v < n / 2 ? lo : hi).push_back(v);
+    const Time down = static_cast<Time>(400 + rng.below(4000));
+    const Time span = s.heartbeat * static_cast<Time>(3 + rng.below(6));
+    s.plan = sim::FaultPlan::partition(*t.topo, lo, hi, down, down + span);
+  } else {
+    if (rng.below(100) < 55) {
+      const int kills = 1 + (rng.below(100) < 25 ? 1 : 0);
+      for (int i = 0; i < kills; ++i) {
+        const NodeId victim = s.dests[rng.below(s.dests.size())];
+        plan.node_events.push_back(
+            {static_cast<Time>(100 + rng.below(20000)), victim});
+      }
     }
+    if (rng.below(100) < 35) plan.drop_rate = 0.001 + rng.uniform() * 0.008;
+    if (rng.below(100) < 25) plan.corrupt_rate = 0.001 + rng.uniform() * 0.01;
   }
-  if (rng.below(100) < 35) plan.drop_rate = 0.001 + rng.uniform() * 0.008;
-  if (rng.below(100) < 25) plan.corrupt_rate = 0.001 + rng.uniform() * 0.01;
   if (!plan.empty()) plan.seed = rng.next() >> 1;
   return s;
 }
@@ -211,9 +241,30 @@ ScenarioOutcome run_stream_scenario(const ChaosScenario& s) {
   scfg.bytes = s.bytes;
   scfg.alg = s.alg;
   scfg.shape = t.shape;
-  scfg.reliable = !s.plan.empty();
+  scfg.reliable = !s.plan.empty() || s.heartbeat > 0;
   scfg.ft.max_retries = s.max_retries;
   scfg.record_trace = true;
+  scfg.membership.heartbeat_period = s.heartbeat;
+  scfg.failover = s.failover;
+  scfg.rejoin = s.rejoin;
+  // Theorem 1 is re-checked statically on every tree the stream adopts:
+  // epoch rebuilds re-split the chain, and a guaranteed algorithm must
+  // stay contention-free over any sorted sub-chain (pcmlint proves it
+  // without simulating a flit).
+  if (guarantees_contention_free(s.alg)) {
+    scfg.on_reconfigure = [&](const MulticastTree& tree) {
+      lint::LintOptions lopts;
+      lopts.max_diagnostics = 1;
+      lopts.keep_schedule = false;
+      const lint::LintReport lr = lint::lint_tree(
+          tree, *t.topo, rtm.config(), sim::SimConfig{}, s.bytes, lopts);
+      if (!lr.clean())
+        throw InvariantViolation(
+            Invariant::kContentionFreedom,
+            "pcmlint rejects an epoch tree: " +
+                first_line(lr.describe(tree, *t.topo)));
+    };
+  }
 
   ScenarioOutcome out;
   try {
@@ -222,6 +273,8 @@ ScenarioOutcome run_stream_scenario(const ChaosScenario& s) {
     out.retries = r.retries;
     out.epochs = r.epoch;
     out.stale_acks = r.stale_acks;
+    out.failovers = r.failovers;
+    out.rejoins = r.rejoins;
     auditor.finalize(sim);
     InvariantAuditor::audit_stream(r);
   } catch (const sim::WatchdogError& e) {
@@ -336,6 +389,27 @@ MinimizeResult minimize(const ChaosScenario& s) {
         changed = true;
       }
     }
+    for (std::size_t i = mr.scenario.plan.cut_events.size(); i-- > 0;) {
+      ChaosScenario c = mr.scenario;
+      c.plan.cut_events.erase(c.plan.cut_events.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+      if (const ScenarioOutcome o = attempt(c); o.violated) {
+        accept(std::move(c), o);
+        changed = true;
+      }
+    }
+    // Membership off is one move: heartbeat, failover, and rejoin stand
+    // or fall together (the flags are invalid without a cadence).
+    if (mr.scenario.heartbeat > 0) {
+      ChaosScenario c = mr.scenario;
+      c.heartbeat = 0;
+      c.failover = false;
+      c.rejoin = false;
+      if (const ScenarioOutcome o = attempt(c); o.violated) {
+        accept(std::move(c), o);
+        changed = true;
+      }
+    }
     if (mr.scenario.plan.drop_rate > 0) {
       ChaosScenario c = mr.scenario;
       c.plan.drop_rate = 0;
@@ -394,6 +468,9 @@ std::string repro_command(const ChaosScenario& s) {
   os << " --bytes " << s.bytes << " --max-retries " << s.max_retries;
   if (s.stream_len > 0)
     os << " --stream " << s.stream_len << " --window " << s.stream_window;
+  if (s.heartbeat > 0) os << " --heartbeat " << s.heartbeat;
+  if (s.failover) os << " --failover";
+  if (s.rejoin) os << " --rejoin";
   if (s.shuffle_chain) os << " --shuffle-chain --seed " << s.shuffle_seed;
   if (!s.plan.empty()) os << " --faults \"" << s.plan.to_spec() << '"';
   os << " --audit";
@@ -423,6 +500,8 @@ ChaosReport run_chaos(const ChaosConfig& cfg, std::ostream* log) {
     rep.dropped += o.dropped;
     rep.epochs += o.epochs;
     rep.stale_acks += o.stale_acks;
+    rep.failovers += o.failovers;
+    rep.rejoins += o.rejoins;
     if (o.violated) {
       ++rep.violations;
       rep.watchdogs += o.watchdog ? 1 : 0;

@@ -41,6 +41,13 @@ struct ChaosScenario {
   /// the legacy one-shot semantics (and the existing golden outcomes).
   int stream_len = 0;
   int stream_window = 0;
+  /// Membership axes (streaming only): a non-zero heartbeat enables the
+  /// lease-based failure detector; failover/rejoin mirror the pcmcast
+  /// flags of the same name.  The generator mixes in source-kill-with-
+  /// failover and partition-then-heal scenario families.
+  Time heartbeat = 0;
+  bool failover = false;
+  bool rejoin = false;
 };
 
 /// Deterministically generates scenario `index` of root seed `root_seed`.
@@ -62,6 +69,8 @@ struct ScenarioOutcome {
   int dropped = 0;
   int epochs = 0;      ///< stream reconfigurations (streaming scenarios)
   int stale_acks = 0;  ///< old-epoch deliveries rejected (streaming)
+  int failovers = 0;   ///< source successions performed (streaming)
+  int rejoins = 0;     ///< healed receivers re-admitted (streaming)
 };
 
 /// Executes one scenario under a strict-as-applicable auditor (contention
@@ -106,6 +115,8 @@ struct ChaosReport {
   long long dropped = 0;
   long long epochs = 0;
   long long stale_acks = 0;
+  long long failovers = 0;
+  long long rejoins = 0;
   double mean_delivered = 1.0;
   std::vector<int> violating_indices;      ///< scenario order
   std::vector<MinimizeResult> minimized;   ///< first max_minimized failures

@@ -376,11 +376,25 @@ void InvariantAuditor::audit_stream(const rt::StreamResult& res) {
       std::vector<char>(static_cast<std::size_t>(slots), 0));
   std::vector<int> last_slot(static_cast<std::size_t>(k), -1);
   std::vector<char> dead(static_cast<std::size_t>(k), 0);
+  std::vector<char> parted(static_cast<std::size_t>(k), 0);
   int epoch = 0;
   int injected = 0;
   int frontier = 0;
   int epochs_seen = 0;
   int stale_seen = 0;
+  int failovers_seen = 0;
+  int rejoins_seen = 0;
+  int suspects_seen = 0;
+  // The position currently allowed to produce (inject) slots: pinned by
+  // the first kInject, reassigned only by kFailover.  At most one active
+  // source per epoch — an inject from anyone else is split brain.
+  int producer = -1;
+  auto replayed_prefix = [&](int p) {
+    int pre = 0;
+    while (pre < slots && got[static_cast<std::size_t>(p)][static_cast<std::size_t>(pre)])
+      ++pre;
+    return pre;
+  };
   // The trace is replayed in *protocol order* (the order the runtime's
   // state machine processed the events).  Timestamps are software
   // completion times and may legally interleave: a retransmitted slot's
@@ -389,6 +403,17 @@ void InvariantAuditor::audit_stream(const rt::StreamResult& res) {
   for (const rt::StreamEvent& ev : res.trace) {
     switch (ev.kind) {
       case Kind::kInject:
+        if (ev.pos < 0 || ev.pos >= k)
+          throw InvariantViolation(Invariant::kResultConsistency,
+                                   "injection from outside the group", ev.t);
+        if (producer < 0) producer = ev.pos;
+        if (ev.pos != producer)
+          throw InvariantViolation(
+              Invariant::kStreamEpoch,
+              "injection from pos " + std::to_string(ev.pos) +
+                  " but the acting source is pos " + std::to_string(producer) +
+                  " (split brain / deposed source)",
+              ev.t);
         if (ev.slot != injected)
           throw InvariantViolation(Invariant::kStreamOrder,
                                    "slot " + std::to_string(ev.slot) +
@@ -460,9 +485,9 @@ void InvariantAuditor::audit_stream(const rt::StreamResult& res) {
         // Commit means every *surviving* receiver holds the slot.
         for (int p = 0; p < k; ++p) {
           if (dead[static_cast<std::size_t>(p)]) continue;
-          if (res.delivered_prefix[static_cast<std::size_t>(p)] == slots &&
-              last_slot[static_cast<std::size_t>(p)] < 0)
-            continue;  // the source: full prefix, never a receiver
+          // The acting source is not a receiver (any committed slot was
+          // injected first, so `producer` is pinned by now).
+          if (p == producer) continue;
           if (!got[static_cast<std::size_t>(p)][static_cast<std::size_t>(ev.slot)])
             throw InvariantViolation(Invariant::kStreamGap,
                                      "slot " + std::to_string(ev.slot) +
@@ -487,6 +512,100 @@ void InvariantAuditor::audit_stream(const rt::StreamResult& res) {
         epoch = ev.epoch;
         ++epochs_seen;
         break;
+      case Kind::kPartition:
+        if (ev.epoch != epoch + 1)
+          throw InvariantViolation(Invariant::kStreamEpoch,
+                                   "epoch stepped from " + std::to_string(epoch) +
+                                       " to " + std::to_string(ev.epoch),
+                                   ev.t);
+        if (ev.pos < 0 || ev.pos >= k || dead[static_cast<std::size_t>(ev.pos)])
+          throw InvariantViolation(Invariant::kStreamEpoch,
+                                   "partition eviction names an invalid or "
+                                   "already-dead position",
+                                   ev.t);
+        dead[static_cast<std::size_t>(ev.pos)] = 1;
+        parted[static_cast<std::size_t>(ev.pos)] = 1;
+        epoch = ev.epoch;
+        ++epochs_seen;
+        break;
+      case Kind::kRejoin: {
+        if (ev.epoch != epoch + 1)
+          throw InvariantViolation(Invariant::kStreamEpoch,
+                                   "epoch stepped from " + std::to_string(epoch) +
+                                       " to " + std::to_string(ev.epoch),
+                                   ev.t);
+        if (ev.pos < 0 || ev.pos >= k ||
+            !parted[static_cast<std::size_t>(ev.pos)])
+          throw InvariantViolation(
+              Invariant::kStreamEpoch,
+              "rejoin of a position never evicted as unreachable (crashed "
+              "members must not rejoin)",
+              ev.t);
+        // Prefix continuity: the rejoiner resumes exactly where it stood.
+        const int pre = replayed_prefix(ev.pos);
+        if (ev.slot != pre)
+          throw InvariantViolation(
+              Invariant::kStreamGap,
+              "rejoin of pos " + std::to_string(ev.pos) + " claims prefix " +
+                  std::to_string(ev.slot) + " but the trace shows " +
+                  std::to_string(pre),
+              ev.t);
+        dead[static_cast<std::size_t>(ev.pos)] = 0;
+        parted[static_cast<std::size_t>(ev.pos)] = 0;
+        epoch = ev.epoch;
+        ++epochs_seen;
+        ++rejoins_seen;
+        break;
+      }
+      case Kind::kFailover: {
+        if (ev.epoch != epoch + 1)
+          throw InvariantViolation(Invariant::kStreamEpoch,
+                                   "epoch stepped from " + std::to_string(epoch) +
+                                       " to " + std::to_string(ev.epoch),
+                                   ev.t);
+        if (ev.pos < 0 || ev.pos >= k || dead[static_cast<std::size_t>(ev.pos)])
+          throw InvariantViolation(Invariant::kStreamEpoch,
+                                   "failover elects an invalid or dead successor",
+                                   ev.t);
+        // Committed prefixes never regress across failover: the successor
+        // must hold at least everything the group already committed.
+        if (ev.slot < frontier)
+          throw InvariantViolation(
+              Invariant::kStreamGap,
+              "failover successor prefix " + std::to_string(ev.slot) +
+                  " regresses the committed frontier " +
+                  std::to_string(frontier),
+              ev.t);
+        const int pre = replayed_prefix(ev.pos);
+        if (ev.slot != pre)
+          throw InvariantViolation(
+              Invariant::kStreamGap,
+              "failover claims successor prefix " + std::to_string(ev.slot) +
+                  " but the trace shows " + std::to_string(pre),
+              ev.t);
+        // The deposed source leaves the group; at most one active source
+        // per epoch from here on.
+        if (producer >= 0) dead[static_cast<std::size_t>(producer)] = 1;
+        producer = ev.pos;
+        epoch = ev.epoch;
+        ++epochs_seen;
+        ++failovers_seen;
+        break;
+      }
+      case Kind::kSuspect:
+        if (ev.pos < 0 || ev.pos >= k || dead[static_cast<std::size_t>(ev.pos)])
+          throw InvariantViolation(Invariant::kResultConsistency,
+                                   "suspicion of an invalid or dead position",
+                                   ev.t);
+        ++suspects_seen;
+        break;
+      case Kind::kClear:
+        if (ev.pos < 0 || ev.pos >= k || dead[static_cast<std::size_t>(ev.pos)])
+          throw InvariantViolation(Invariant::kResultConsistency,
+                                   "suspicion cleared on an invalid or dead "
+                                   "position",
+                                   ev.t);
+        break;
     }
   }
   if (epoch != res.epoch || epochs_seen != res.epoch)
@@ -498,14 +617,35 @@ void InvariantAuditor::audit_stream(const rt::StreamResult& res) {
   if (stale_seen != res.stale_acks)
     throw InvariantViolation(Invariant::kResultConsistency,
                              "trace stale-ack count disagrees with the result");
+  if (failovers_seen != res.failovers)
+    throw InvariantViolation(Invariant::kResultConsistency,
+                             "trace failover count disagrees with the result");
+  if (rejoins_seen != res.rejoins)
+    throw InvariantViolation(Invariant::kResultConsistency,
+                             "trace rejoin count disagrees with the result");
+  if (suspects_seen != res.suspects)
+    throw InvariantViolation(Invariant::kResultConsistency,
+                             "trace suspect count disagrees with the result");
+  if (failovers_seen > 0 && producer >= 0 &&
+      res.delivered_prefix[static_cast<std::size_t>(producer)] != slots)
+    throw InvariantViolation(Invariant::kResultConsistency,
+                             "acting source lacks the full stream");
 
   // Per-receiver checks over the replayed delivery sets.
   for (int p = 0; p < k; ++p) {
     const auto& row = got[static_cast<std::size_t>(p)];
     if (last_slot[static_cast<std::size_t>(p)] < 0) continue;  // source / silent
-    // In-order first deliveries are only promised while the tree never
-    // reconfigures (replays legally deliver newer slots first).
-    if (res.epoch == 0) {
+    // A failover successor's prefix is regenerated, not delivered; its
+    // result row legally exceeds its replayed deliveries.
+    if (failovers_seen > 0 && p == producer) continue;
+    // In-order first deliveries are a *healthy-run* promise: an epoch
+    // replay delivers newer slots first, a retry ladder races slots that
+    // slipped through a blip, and a halted stream's final drain can land
+    // messages that sat blocked at a cut while earlier slots were dropped
+    // (zero retries, zero epochs).  Every disturbed run carries at least
+    // one of these witnesses.
+    if (res.epoch == 0 && res.retries == 0 && res.suspects == 0 &&
+        res.complete) {
       int expect = 0;
       for (int s = 0; s < slots; ++s)
         if (row[static_cast<std::size_t>(s)]) {

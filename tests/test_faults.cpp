@@ -92,6 +92,66 @@ TEST(FaultPlan, SpecRoundTripsExactly) {
   EXPECT_EQ(sim::FaultPlan{}.to_spec(), "");
 }
 
+TEST(FaultPlan, PartitionAndHealSpecsRoundTripExactly) {
+  // The grouped partition/heal clauses survive parse -> to_spec -> parse
+  // bit-for-bit (the chaos minimizer hands these out as reproducers).
+  const char* specs[] = {
+      "partition:0,1|1,1|2,1@100;heal:0,1|1,1|2,1@900",
+      "partition:3,0@50",  // a one-channel cut is still a cut event
+      "node:5@10;partition:0,1|4,2@200;drop:0.001;heal:0,1|4,2@400;seed:9",
+  };
+  for (const char* spec : specs) {
+    const auto plan = sim::FaultPlan::parse(spec);
+    EXPECT_FALSE(plan.cut_events.empty()) << spec;
+    const std::string round = plan.to_spec();
+    EXPECT_TRUE(sim::FaultPlan::parse(round) == plan) << spec << " -> " << round;
+  }
+  EXPECT_THROW(sim::FaultPlan::parse("partition:@5"), std::invalid_argument);
+  EXPECT_THROW(sim::FaultPlan::parse("partition:0@5"), std::invalid_argument);
+  EXPECT_THROW(sim::FaultPlan::parse("heal:0,1|@5"), std::invalid_argument);
+}
+
+TEST(FaultPlan, PartitionBuilderCutsExactlyTheCrossingChannels) {
+  // Splitting the 4x4 mesh into top and bottom halves must cut exactly
+  // the row-crossing channels — one per column per direction — down at
+  // t_down and restored at t_up, and the result must round-trip as a
+  // spec.
+  const auto topo = mesh::make_mesh2d(4);
+  std::vector<NodeId> lo, hi;
+  for (NodeId v = 0; v < 16; ++v) (v < 8 ? lo : hi).push_back(v);
+  const auto plan = sim::FaultPlan::partition(*topo, lo, hi, 100, 900);
+  ASSERT_EQ(plan.cut_events.size(), 2u);
+  const auto& down = plan.cut_events[0];
+  const auto& up = plan.cut_events[1];
+  EXPECT_FALSE(down.up);
+  EXPECT_TRUE(up.up);
+  EXPECT_EQ(down.cycle, 100);
+  EXPECT_EQ(up.cycle, 900);
+  EXPECT_EQ(down.channels.size(), 8u) << "4 columns x 2 directions";
+  EXPECT_EQ(up.channels, down.channels);
+  // Minimality: every cut channel leaves a row-1 or row-2 router.
+  for (const auto& ch : down.channels)
+    EXPECT_TRUE((ch.router >= 4 && ch.router < 12))
+        << "router " << ch.router << " is not on the cut boundary";
+  EXPECT_TRUE(sim::FaultPlan::parse(plan.to_spec()) == plan) << plan.to_spec();
+
+  // A permanent cut (t_up < 0) emits only the down event.
+  const auto forever = sim::FaultPlan::partition(*topo, lo, hi, 100, -1);
+  ASSERT_EQ(forever.cut_events.size(), 1u);
+  EXPECT_FALSE(forever.cut_events[0].up);
+
+  // Region validation: overlap, gaps, emptiness, and bad times all throw.
+  EXPECT_THROW(sim::FaultPlan::partition(*topo, lo, lo, 100, 900),
+               std::invalid_argument);
+  std::vector<NodeId> short_hi(hi.begin(), hi.end() - 1);
+  EXPECT_THROW(sim::FaultPlan::partition(*topo, lo, short_hi, 100, 900),
+               std::invalid_argument);
+  EXPECT_THROW(sim::FaultPlan::partition(*topo, {}, hi, 100, 900),
+               std::invalid_argument);
+  EXPECT_THROW(sim::FaultPlan::partition(*topo, lo, hi, 900, 100),
+               std::invalid_argument);
+}
+
 TEST(FaultPlan, HashIsDeterministicAndUniform) {
   // Pure function of its inputs; roughly uniform on [0, 1).
   EXPECT_EQ(sim::fault_uniform(1, 2, 3, 4), sim::fault_uniform(1, 2, 3, 4));

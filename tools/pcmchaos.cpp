@@ -94,7 +94,8 @@ int main(int argc, char** argv) {
               << rep.dropped << " messages dropped";
     if (cfg.streaming)
       std::cout << ", " << rep.epochs << " epochs, " << rep.stale_acks
-                << " stale acks";
+                << " stale acks, " << rep.failovers << " failovers, "
+                << rep.rejoins << " rejoins";
     std::cout << "\n";
     return rep.violations == 0 ? 0 : 1;
   } catch (const std::exception& e) {
