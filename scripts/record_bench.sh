@@ -18,7 +18,12 @@
 # the best wall time is compared, so scheduler noise cannot flake the
 # gate.  It then gates streaming throughput on the same fig2 parameters:
 # a window-8 stream must beat the window-1 (stop-and-wait) stream in
-# simulated makespan (pcmcast --stream --json; fully deterministic).
+# simulated makespan (pcmcast --stream --json; fully deterministic), and
+# finally gates the flight recorder: a traced fig2 run must stay within
+# 5% of the untraced reference.
+#
+# Bench CSVs land under results/ (gitignored); only BENCH_sim.json is
+# meant to be committed.
 #
 # Exit code: 0 success, 1 perf regression (smoke) or bench failure,
 # 2 usage / missing binaries.
@@ -139,10 +144,36 @@ if [ "$smoke" -eq 1 ]; then
   if [ "$fmk" -lt $((mk8 * 3)) ]; then
     echo "record_bench smoke: OK (failover completes within 3x the clean" \
          "window-8 makespan)"
+  else
+    echo "record_bench smoke: FAIL — failover makespan $fmk exceeds 3x the" \
+         "clean window-8 makespan $mk8" >&2
+    exit 1
+  fi
+
+  # Trace overhead gate: the flight recorder must stay cheap when it is
+  # on — the traced fig2 run may cost at most 5% over the untraced
+  # best-of-$runs cycle reference measured above.  Best-of-$runs again so
+  # scheduler noise cannot flake the gate.
+  best_traced=""
+  i=0
+  while [ "$i" -lt "$runs" ]; do
+    i=$((i + 1))
+    "$build/bench/bench_fig2_mesh_msgsize" --jobs 1 --engine cycle \
+        --trace "$tmp/fig2.pcmt" --json "$tmp/fig2_traced.json" \
+        >/dev/null || exit 1
+    w="$(wall_of "$tmp/fig2_traced.json")"
+    if [ -z "$best_traced" ] || awk "BEGIN{exit !($w < $best_traced)}"; then
+      best_traced="$w"
+    fi
+  done
+  echo "record_bench smoke: fig2 16x16 best-of-$runs" \
+       "untraced=${best_cycle}s traced=${best_traced}s"
+  if awk "BEGIN{exit !($best_traced <= $best_cycle * 1.05)}"; then
+    echo "record_bench smoke: OK (tracing overhead within 5%)"
     exit 0
   fi
-  echo "record_bench smoke: FAIL — failover makespan $fmk exceeds 3x the" \
-       "clean window-8 makespan $mk8" >&2
+  echo "record_bench smoke: FAIL — tracing costs more than 5% on the fig2" \
+       "workload (untraced ${best_cycle}s, traced ${best_traced}s)" >&2
   exit 1
 fi
 

@@ -19,6 +19,9 @@
 #include "bmin/bmin_topology.hpp"
 #include "harness/harness.hpp"
 #include "lint/lint.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "butterfly/butterfly_topology.hpp"
 #include "mesh/mesh_topology.hpp"
 #include "runtime/collectives.hpp"
@@ -105,6 +108,10 @@ CliOptions parse_args(std::span<const std::string_view> args) {
       opt.csv = std::string(value());
     } else if (a == "--json") {
       opt.json = std::string(value());
+    } else if (a == "--trace") {
+      opt.trace = std::string(value());
+    } else if (a == "--metrics") {
+      opt.metrics = true;
     } else if (a == "--jobs" || a == "-j") {
       opt.jobs = static_cast<int>(parse_uint_flag(a, value(), 0, 4096));
     } else if (a == "--engine") {
@@ -190,6 +197,10 @@ CliOptions parse_args(std::span<const std::string_view> args) {
       throw std::invalid_argument(
           "pcmcast: pick one of --lint (static) and --audit (dynamic); the "
           "equivalence tests run both separately");
+    if (opt.lint && (!opt.trace.empty() || opt.metrics))
+      throw std::invalid_argument(
+          "pcmcast: --lint simulates nothing, so there is no trace to record "
+          "(drop --trace/--metrics)");
     if (opt.dests.empty() != (opt.source < 0))
       throw std::invalid_argument(
           "pcmcast: --source and --dests must be given together");
@@ -321,6 +332,14 @@ std::string usage() {
          "                     voiding the contention-freedom precondition\n"
          "  --csv PATH         also write per-rep results as CSV\n"
          "  --json PATH        also write a machine-readable JSON report\n"
+         "  --trace PATH       record a flight-recorder trace of every run\n"
+         "                     (merged in placement order: bit-identical at\n"
+         "                     any --jobs and across engines); '.json' writes\n"
+         "                     Chrome trace-event JSON (Perfetto), anything\n"
+         "                     else the compact binary pcmtrace reads\n"
+         "  --metrics          derive deterministic metrics (channel occupancy,\n"
+         "                     retry depth, failover latency, slots/kcycle)\n"
+         "                     from the trace and report them (no --trace needed)\n"
          "  --engine E         simulator kernel: cycle (reference) or event\n"
          "                     (event-driven fast-forward; bit-identical\n"
          "                     results, much faster on large topologies)\n"
@@ -406,7 +425,8 @@ struct RunOutcome {
 RunOutcome run_one(const MeshShape* shape, const rt::CollectiveRuntime& coll,
                    const CliOptions& opt, McastAlgorithm alg,
                    const analysis::Placement& p, sim::Simulator& sim,
-                   const sim::FaultPlan* plan) {
+                   const sim::FaultPlan* plan,
+                   obs::FlightRecorder* recorder = nullptr) {
   const rt::MulticastRuntime& rtm = coll.multicast();
   const TwoParam tp = rtm.config().machine.two_param(rtm.wire_bytes(opt.bytes, 1));
   const MulticastTree tree = build_cli_tree(opt, alg, p, tp, shape);
@@ -423,12 +443,20 @@ RunOutcome run_one(const MeshShape* shape, const rt::CollectiveRuntime& coll,
     auditor.emplace(sim.topology(), acfg);
     sim.set_observer(&*auditor);
   }
+  // Under --audit --trace the recorder front-runs the auditor: it records
+  // each hook, then forwards, so a violation's trace ends exactly at the
+  // offending event.
+  if (recorder != nullptr) {
+    recorder->chain(auditor ? &*auditor : nullptr);
+    sim.set_observer(recorder);
+  }
   RunOutcome out;
   if (plan != nullptr) {
     sim.set_fault_plan(*plan);
     rt::FtConfig ft;
     ft.max_retries = opt.max_retries;
     ft.record_ack_trace = opt.audit;
+    ft.recorder = recorder;
     const rt::McastResult r = rtm.run_reliable(sim, tree, opt.bytes, ft, sim.now());
     out = RunOutcome{r.latency,           r.model_latency,
                      r.channel_conflicts, r.delivered_fraction,
@@ -543,7 +571,33 @@ int run_stream_cli(const CliOptions& opt, std::ostream& os, std::ostream& err) {
     auditor.emplace(sim.topology(), acfg);
     sim.set_observer(&*auditor);
   }
+  // A stream is one run: a single recorder, no per-placement fan-out.
+  // Under --audit --trace it front-runs the auditor so a violation's
+  // trace ends exactly at the offending event.
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  if (!opt.trace.empty() || opt.metrics) {
+    recorder = std::make_unique<obs::FlightRecorder>();
+    recorder->record(obs::EventKind::kRunBegin, 0, 0,
+                     static_cast<std::int32_t>(alg));
+    recorder->chain(auditor ? &*auditor : nullptr);
+    sim.set_observer(recorder.get());
+    scfg.recorder = recorder.get();
+  }
   if (plan) sim.set_fault_plan(*plan);
+
+  auto export_trace = [&] {
+    if (!recorder || opt.trace.empty()) return;
+    try {
+      const std::vector<obs::TraceEvent> events = recorder->snapshot();
+      obs::write_trace(opt.trace, events, recorder->events_dropped());
+      os << "trace:   " << opt.trace << " (" << events.size() << " events";
+      if (recorder->events_dropped() > 0)
+        os << ", " << recorder->events_dropped() << " dropped by ring wrap";
+      os << ")\n";
+    } catch (const std::exception& e) {
+      err << "pcmcast: " << e.what() << "\n";
+    }
+  };
 
   const rt::StreamRuntime srt(coll.multicast());
   rt::StreamResult r;
@@ -554,6 +608,12 @@ int run_stream_cli(const CliOptions& opt, std::ostream& os, std::ostream& err) {
       verify::InvariantAuditor::audit_stream(r);
     }
   } catch (const verify::InvariantViolation& v) {
+    if (recorder) {
+      recorder->record(obs::EventKind::kViolation, v.cycle(),
+                       static_cast<std::int32_t>(v.invariant()), v.msg(),
+                       v.router(), v.port());
+      export_trace();
+    }
     os << "pcmcast: AUDIT VIOLATION: " << v.what() << "\n";
     return 3;
   }
@@ -606,15 +666,30 @@ int run_stream_cli(const CliOptions& opt, std::ostream& os, std::ostream& err) {
     f << rows.to_csv();
     os << "csv:     " << opt.csv << "\n";
   }
+  std::optional<analysis::Table> metrics_table;
+  if (recorder) {
+    if (opt.metrics) {
+      obs::MetricsRegistry reg;
+      obs::populate_metrics(recorder->snapshot(), reg);
+      metrics_table.emplace(std::vector<std::string>{"metric", "value"});
+      for (const obs::MetricSample& s : reg.snapshot())
+        metrics_table->add_row({s.name, s.value});
+      os << "\nmetrics (deterministic, from the flight recorder):\n"
+         << metrics_table->to_string();
+    }
+    export_trace();
+  }
   if (!opt.json.empty()) {
     harness::JsonReport report("pcmcast", 1);
     report.set_meta("engine", harness::engine_label(opt.engine, fell_back));
+    report.set_meta("seed", std::to_string(opt.seed));
     report.set_meta("makespan", std::to_string(r.makespan));
     report.set_meta("committed", std::to_string(r.committed));
     report.set_meta("failovers", std::to_string(r.failovers));
     report.set_meta("rejoins", std::to_string(r.rejoins));
     report.add_table("stream", opt.csv, summary);
     report.add_table("per-receiver", opt.csv, rows);
+    if (metrics_table) report.add_table("metrics", "", *metrics_table);
     report.write(opt.json);
     os << "json:    " << opt.json << "\n";
   }
@@ -701,7 +776,45 @@ int run_cli(const CliOptions& opt, std::ostream& os, std::ostream& err) {
   analysis::Table rows(row_cols);
   harness::ThreadPool pool(opt.jobs);
   double min_delivered = 1.0;
-  auto audit_failure = [&os](const verify::InvariantViolation& v) {
+
+  // --trace/--metrics: one master trace merged from per-run rings in
+  // placement order (bit-identical at any --jobs).  Off = no recorder
+  // object exists anywhere.
+  std::unique_ptr<obs::FlightRecorder> master;
+  if (!opt.trace.empty() || opt.metrics)
+    master = std::make_unique<obs::FlightRecorder>();
+  std::vector<std::unique_ptr<obs::FlightRecorder>> cur_runs;
+  std::size_t run_counter = 0;
+  auto merge_runs = [&] {
+    for (const auto& run : cur_runs)
+      if (run) master->append(*run);
+    run_counter += cur_runs.size();
+    cur_runs.clear();
+  };
+  auto export_trace = [&] {
+    if (!master || opt.trace.empty()) return;
+    try {
+      const std::vector<obs::TraceEvent> events = master->snapshot();
+      obs::write_trace(opt.trace, events, master->events_dropped());
+      os << "trace:   " << opt.trace << " (" << events.size() << " events";
+      if (master->events_dropped() > 0)
+        os << ", " << master->events_dropped() << " dropped by ring wrap";
+      os << ")\n";
+    } catch (const std::exception& e) {
+      err << "pcmcast: " << e.what() << "\n";
+    }
+  };
+
+  auto audit_failure = [&](const verify::InvariantViolation& v) {
+    if (master) {
+      // The violation becomes the trace's last annotation, so `pcmtrace
+      // dump` shows the offending event in context.
+      merge_runs();
+      master->record(obs::EventKind::kViolation, v.cycle(),
+                     static_cast<std::int32_t>(v.invariant()), v.msg(),
+                     v.router(), v.port());
+      export_trace();
+    }
     os << "pcmcast: AUDIT VIOLATION: " << v.what() << "\n";
     return 3;
   };
@@ -712,11 +825,25 @@ int run_cli(const CliOptions& opt, std::ostream& os, std::ostream& err) {
     // is identical at any --jobs value (fault decisions are pure hashes
     // of per-simulator state, so this holds with --faults too).
     std::vector<RunOutcome> outcomes(placements.size());
+    if (master) {
+      cur_runs.clear();
+      cur_runs.resize(placements.size());
+    }
     pool.parallel_for(placements.size(), [&](std::size_t i) {
       sim::Simulator sim(*topo, sim::SimConfig{.engine = engine});
-      outcomes[i] =
-          run_one(shape, coll, opt, alg, placements[i], sim, ft ? &*plan : nullptr);
+      obs::FlightRecorder* rec = nullptr;
+      if (master) {
+        cur_runs[i] = std::make_unique<obs::FlightRecorder>(
+            obs::RecorderConfig{obs::kRunRingCapacity});
+        rec = cur_runs[i].get();
+        rec->record(obs::EventKind::kRunBegin, 0,
+                    static_cast<std::int32_t>(run_counter + i),
+                    static_cast<std::int32_t>(alg));
+      }
+      outcomes[i] = run_one(shape, coll, opt, alg, placements[i], sim,
+                            ft ? &*plan : nullptr, rec);
     });
+    if (master) merge_runs();
     std::vector<double> lat, model, delivered;
     long long conflicts = 0, retries = 0, repairs = 0, dead = 0;
     for (size_t i = 0; i < outcomes.size(); ++i) {
@@ -780,11 +907,28 @@ int run_cli(const CliOptions& opt, std::ostream& os, std::ostream& err) {
     os << "csv:     " << opt.csv << "\n";
   }
 
+  std::optional<analysis::Table> metrics_table;
+  if (master) {
+    if (opt.metrics) {
+      obs::MetricsRegistry reg;
+      obs::populate_metrics(master->snapshot(), reg);
+      metrics_table.emplace(
+          std::vector<std::string>{"metric", "value"});
+      for (const obs::MetricSample& s : reg.snapshot())
+        metrics_table->add_row({s.name, s.value});
+      os << "\nmetrics (deterministic, from the flight recorder):\n"
+         << metrics_table->to_string();
+    }
+    export_trace();
+  }
+
   if (!opt.json.empty()) {
     harness::JsonReport report("pcmcast", pool.jobs());
     report.set_meta("engine", harness::engine_label(opt.engine, fell_back));
+    report.set_meta("seed", std::to_string(opt.seed));
     report.add_table("summary", opt.csv, summary);
     report.add_table("per-rep", opt.csv, rows);
+    if (metrics_table) report.add_table("metrics", "", *metrics_table);
     report.write(opt.json);
     os << "json:    " << opt.json << "\n";
   }
@@ -874,6 +1018,10 @@ int run_lint_cli(const CliOptions& opt, std::ostream& os) {
   }
   if (!opt.json.empty()) {
     harness::JsonReport report("pcmlint", 1);
+    // Same envelope keys as every dynamic report; lint simulates nothing,
+    // so the engine is "static".
+    report.set_meta("engine", "static");
+    report.set_meta("seed", std::to_string(opt.seed));
     report.add_table("summary", opt.csv, summary);
     report.add_table("per-placement", opt.csv, rows);
     report.write(opt.json);

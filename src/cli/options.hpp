@@ -31,6 +31,8 @@ struct CliOptions {
   std::uint64_t seed = 1997;
   std::string csv;                      ///< optional CSV output path
   std::string json;                     ///< optional JSON report path
+  std::string trace;                    ///< optional flight-recorder trace path
+  bool metrics = false;                 ///< derive + report trace metrics
   std::string faults;                   ///< fault plan spec (see FaultPlan::parse)
   int max_retries = 3;                  ///< fault-tolerant runtime retry budget
   int jobs = 0;                         ///< worker threads; 0 = hardware

@@ -3,12 +3,15 @@
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <stdexcept>
 
 #include "core/model.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "sim/fault.hpp"
 
 namespace pcm::harness {
@@ -53,6 +56,12 @@ Options parse_options(std::span<const char* const> args) {
       } catch (const std::exception& e) {
         throw std::invalid_argument("bad --faults spec: " + std::string(e.what()));
       }
+    } else if (a == "--trace") {
+      opt.trace_path = std::string(value());
+      if (opt.trace_path.empty() || opt.trace_path.substr(0, 2) == "--")
+        throw std::invalid_argument("--trace expects a file path");
+    } else if (a == "--metrics") {
+      opt.metrics = true;
     } else {
       throw std::invalid_argument("unknown option '" + std::string(a) +
                                   "' (try --help)");
@@ -77,6 +86,13 @@ std::string bench_usage(const std::string& bench_name) {
          "  --faults SPEC  fault plan for fault-aware benches (clauses\n"
          "               link:R,P@C | node:N@C | drop:RATE | corrupt:RATE |\n"
          "               seed:S, ';'-separated); others ignore it\n"
+         "  --trace FILE flight-recorder trace of every run (merged in\n"
+         "               placement order; bit-identical at any --jobs and\n"
+         "               across engines).  '.json' = Chrome trace-event\n"
+         "               JSON (Perfetto), else compact binary (pcmtrace)\n"
+         "  --metrics    derive deterministic metrics (occupancy, retry\n"
+         "               depth, span histograms) from the trace and report\n"
+         "               them (works without --trace)\n"
          "  --help       this text\n";
 }
 
@@ -135,6 +151,10 @@ std::string JsonReport::to_json() const {
   std::string out;
   out += "{\n  \"bench\": ";
   append_escaped(out, name_);
+  // Envelope contract (EXPERIMENTS.md): every report carries
+  // schema_version plus the engine/seed/jobs meta, so downstream tooling
+  // can parse all benches uniformly.
+  out += ",\n  \"schema_version\": 1";
   out += ",\n  \"jobs\": " + std::to_string(jobs_);
   for (const auto& [key, value] : meta_) {
     out += ",\n  ";
@@ -195,6 +215,17 @@ Harness::Harness(std::string bench_name, const Options& opt)
       json_(bench_name_, pool_.jobs()),
       start_(std::chrono::steady_clock::now()) {
   json_.set_meta("engine", engine_name(opt_.engine));
+  json_.set_meta("seed", std::to_string(kSeed));
+  if (!opt_.trace_path.empty() || opt_.metrics)
+    recorder_ = std::make_unique<obs::FlightRecorder>();
+}
+
+void Harness::downgrade_engine(const std::string& reason) {
+  if (opt_.engine != sim::EngineKind::kEvent) return;
+  opt_.engine = sim::EngineKind::kCycle;
+  json_.set_meta("engine", engine_label(sim::EngineKind::kEvent, true));
+  std::cerr << bench_name_ << ": --engine event " << reason
+            << "; running on the cycle engine\n";
 }
 
 namespace {
@@ -214,6 +245,12 @@ Options parse_or_exit(const std::string& bench_name, int argc, char** argv) {
       if (!probe)
         throw std::runtime_error("cannot open " + opt.json_path + " for writing");
     }
+    if (!opt.trace_path.empty()) {
+      std::ofstream probe(opt.trace_path, std::ios::app);
+      if (!probe)
+        throw std::runtime_error("cannot open " + opt.trace_path +
+                                 " for writing");
+    }
     return opt;
   } catch (const std::exception& e) {
     std::cerr << bench_name << ": " << e.what() << "\n";
@@ -227,6 +264,30 @@ Harness::Harness(std::string bench_name, int argc, char** argv)
     : Harness(bench_name, parse_or_exit(bench_name, argc, argv)) {}
 
 Harness::~Harness() {
+  if (recorder_) {
+    const std::vector<obs::TraceEvent> events = recorder_->snapshot();
+    if (opt_.metrics) {
+      obs::MetricsRegistry reg;
+      obs::populate_metrics(events, reg);
+      analysis::Table t({"metric", "value"});
+      for (const obs::MetricSample& s : reg.snapshot())
+        t.add_row({s.name, s.value});
+      report(t, "metrics (deterministic, from the flight recorder)");
+    }
+    if (!opt_.trace_path.empty()) {
+      try {
+        obs::write_trace(opt_.trace_path, events, recorder_->events_dropped());
+        std::cout << "trace:   " << opt_.trace_path << " (" << events.size()
+                  << " events";
+        if (recorder_->events_dropped() > 0)
+          std::cout << ", " << recorder_->events_dropped()
+                    << " dropped by ring wrap";
+        std::cout << ")\n";
+      } catch (const std::exception& e) {
+        std::cerr << bench_name_ << ": " << e.what() << "\n";
+      }
+    }
+  }
   if (opt_.json_path.empty()) return;
   const std::chrono::duration<double> wall =
       std::chrono::steady_clock::now() - start_;
@@ -245,14 +306,29 @@ Point Harness::run_point(const sim::Topology& topo, const MeshShape* shape,
                          Bytes payload) {
   const std::size_t n = placements.size();
   std::vector<double> lat(n), model(n), conflicts(n);
+  // Tracing: each run records into its own ring and the rings are merged
+  // in placement order below, so the trace is bit-identical at any --jobs.
+  std::vector<std::unique_ptr<obs::FlightRecorder>> runs(recorder_ ? n : 0);
   pool_.parallel_for(n, [&](std::size_t i) {
     sim::Simulator sim(topo, sim_config());
+    if (recorder_) {
+      runs[i] = std::make_unique<obs::FlightRecorder>(
+          obs::RecorderConfig{obs::kRunRingCapacity});
+      runs[i]->record(obs::EventKind::kRunBegin, 0,
+                      static_cast<std::int32_t>(run_counter_ + i),
+                      static_cast<std::int32_t>(alg));
+      sim.set_observer(runs[i].get());
+    }
     const rt::McastResult res = rtm.run_algorithm(
         sim, alg, placements[i].source, placements[i].dests, payload, shape);
     lat[i] = static_cast<double>(res.latency);
     model[i] = static_cast<double>(res.model_latency);
     conflicts[i] = static_cast<double>(res.channel_conflicts);
   });
+  if (recorder_) {
+    for (const auto& run : runs) recorder_->append(*run);
+    run_counter_ += n;
+  }
   Point pt;
   pt.latency = analysis::summarize(lat);
   pt.model = analysis::summarize(model);
@@ -276,8 +352,17 @@ void Harness::preamble(const std::string& what, const rt::RuntimeConfig& cfg,
 
 void Harness::report(const analysis::Table& t, const std::string& title,
                      const std::string& csv_path) {
-  t.print(title, csv_path);
-  json_.add_table(title, csv_path, t);
+  // Bench CSVs are named by bare filename; they land under results/
+  // (gitignored) instead of littering the working directory.  A path the
+  // caller qualified (anything containing '/') is honoured verbatim.
+  std::string path = csv_path;
+  if (!path.empty() && path.find('/') == std::string::npos) {
+    std::error_code ec;
+    std::filesystem::create_directories("results", ec);
+    if (!ec) path = "results/" + path;
+  }
+  t.print(title, path);
+  json_.add_table(title, path, t);
 }
 
 std::string size_label(Bytes b) {

@@ -22,12 +22,15 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "analysis/sampling.hpp"
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
 #include "core/algorithms.hpp"
 #include "harness/substream.hpp"
 #include "harness/thread_pool.hpp"
+#include "obs/recorder.hpp"
 #include "runtime/mcast_runtime.hpp"
 #include "sim/simulator.hpp"
 
@@ -50,6 +53,13 @@ struct Options {
   std::string faults;     ///< --faults SPEC; validated FaultPlan spec
   /// --engine cycle|event; which simulator kernel drives every run.
   sim::EngineKind engine = sim::EngineKind::kCycle;
+  /// --trace FILE; flight-recorder trace (".json" = Chrome trace-event
+  /// format for Perfetto, anything else the compact binary).  Empty = no
+  /// recorder at all (the zero-overhead contract).
+  std::string trace_path;
+  /// --metrics; derive the metric registry from the recorded trace and
+  /// print/report it (implies an internal recorder even without --trace).
+  bool metrics = false;
   bool help = false;
 };
 
@@ -128,6 +138,24 @@ class Harness {
     json_.set_meta(key, value);
   }
 
+  /// For benches whose workload only the cycle engine can run (streaming,
+  /// fault plans): downgrade a requested `--engine event` up front.  The
+  /// JSON meta reports "cycle(fallback)" and a notice goes to stderr, so
+  /// the envelope never claims an engine that did not run.
+  void downgrade_engine(const std::string& reason);
+
+  /// The flight recorder behind --trace/--metrics; nullptr when both are
+  /// off (tracing off = no recorder exists = zero overhead).  Benches with
+  /// custom run loops install it as the Simulator observer themselves (or
+  /// pass per-run recorders through merge_run()).
+  [[nodiscard]] obs::FlightRecorder* recorder() { return recorder_.get(); }
+
+  /// Appends a finished per-run recorder into the master trace; custom
+  /// bench loops call this in placement order after their fan-out.
+  void merge_run(const obs::FlightRecorder& run) {
+    if (recorder_) recorder_->append(run);
+  }
+
   /// Runs `alg` over the given placements (one Simulator per placement,
   /// fanned out over the pool) and summarizes in placement order.
   Point run_point(const sim::Topology& topo, const MeshShape* shape,
@@ -162,6 +190,8 @@ class Harness {
   ThreadPool pool_;
   JsonReport json_;
   std::chrono::steady_clock::time_point start_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;  ///< only under --trace/--metrics
+  std::size_t run_counter_ = 0;  ///< kRunBegin index across run_point calls
 };
 
 /// The paper reports message sizes as "0k, 8k, ..., 64k".

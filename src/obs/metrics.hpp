@@ -1,0 +1,73 @@
+// Deterministic metrics registry (DESIGN.md §6.8): counters, gauges, and
+// bucketed histograms keyed on simulated quantities, snapshotted into the
+// harness `--json` envelope.
+//
+// Determinism contract: metrics are registered and updated in program
+// order, stored in first-use order, and histogram buckets are held in an
+// ordered map — a snapshot is a pure function of the run, independent of
+// wall-clock and thread scheduling.  Values derived from simulated cycles
+// never flake; the only wall-clock metric in the system (wall_seconds)
+// stays in the JSON envelope, not here.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/types.hpp"
+#include "obs/trace_event.hpp"
+
+namespace pcm::obs {
+
+/// One row of a metrics snapshot ("name", rendered value).
+struct MetricSample {
+  std::string name;
+  std::string value;
+};
+
+class MetricsRegistry {
+ public:
+  /// Adds `delta` to counter `name` (registered on first use).
+  void count(std::string_view name, long long delta = 1);
+
+  /// Sets gauge `name` (last write wins).
+  void gauge(std::string_view name, double value);
+
+  /// Adds `value` to histogram `name` with the given bucket width:
+  /// bucket i covers [i*width, (i+1)*width).  The width is fixed on first
+  /// use; a later conflicting width throws std::logic_error.
+  void observe(std::string_view name, Time bucket_width, Time value);
+
+  /// Deterministic snapshot: counters and gauges one row each in
+  /// first-use order; each histogram expands to count/mean plus one row
+  /// per non-empty bucket ("name[lo,hi)").
+  [[nodiscard]] std::vector<MetricSample> snapshot() const;
+
+  [[nodiscard]] bool empty() const { return metrics_.empty(); }
+  void clear() { metrics_.clear(); }
+
+ private:
+  struct Metric {
+    enum class Kind { kCounter, kGauge, kHistogram };
+    std::string name;
+    Kind kind = Kind::kCounter;
+    long long count = 0;    ///< counter value / histogram sample count
+    double value = 0;       ///< gauge value / histogram sum
+    Time bucket_width = 0;
+    std::map<long long, long long> buckets;  ///< ordered: deterministic
+  };
+  Metric& metric(std::string_view name, Metric::Kind kind);
+
+  std::vector<Metric> metrics_;  ///< first-use order
+};
+
+/// Derives the standard metric set from a recorded trace: per-event-kind
+/// counters, channel busy fractions (peak and mean over channels that saw
+/// traffic), retry-depth and span-length histograms, failover latency,
+/// and slots-per-kilocycle throughput.  Appends into `reg`.
+void populate_metrics(std::span<const TraceEvent> events, MetricsRegistry& reg);
+
+}  // namespace pcm::obs

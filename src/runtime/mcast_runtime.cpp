@@ -164,6 +164,12 @@ McastResult MulticastRuntime::run_reliable(sim::Simulator& sim,
     if (ft.record_ack_trace)
       res.ack_trace.push_back(
           AckEvent{kind, t, static_cast<int>(ri), attempt, recv_pos});
+    if (ft.recorder != nullptr)
+      ft.recorder->record(kind == AckEvent::Kind::kIssue
+                              ? obs::EventKind::kSendAttempt
+                              : obs::EventKind::kSendAcked,
+                          t, static_cast<std::int32_t>(ri), attempt, recv_pos,
+                          -1);
   };
 
   // Posts one attempt of recs[ri]; `base` lower-bounds the send-op start.

@@ -19,6 +19,7 @@
 #include "core/algorithms.hpp"
 #include "core/model.hpp"
 #include "core/multicast_tree.hpp"
+#include "obs/recorder.hpp"
 #include "sim/simulator.hpp"
 
 namespace pcm::rt {
@@ -100,6 +101,10 @@ struct FtConfig {
   /// Record every issue and ack into McastResult::ack_trace (cheap; a few
   /// entries per tracked send) so auditors can check epoch monotonicity.
   bool record_ack_trace = false;
+  /// Flight recorder for the send lifecycle (kSendAttempt / kSendAcked,
+  /// slot payload -1 for one-shot multicasts).  Not owned; nullptr (the
+  /// default) records nothing.
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 class MulticastRuntime {

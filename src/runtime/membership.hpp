@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "obs/recorder.hpp"
 #include "sim/simulator.hpp"
 
 namespace pcm::rt {
@@ -89,6 +90,11 @@ class MembershipService {
   /// The runtime accepted a healed member back: alive, ladder reset.
   void readmit(int member);
 
+  /// Flight recorder for detector activity: each sweep records a
+  /// kHeartbeat (observer node, #transitions) plus one event per verdict.
+  /// Not owned; nullptr (the default) records nothing.
+  void set_recorder(obs::FlightRecorder* rec) { recorder_ = rec; }
+
   [[nodiscard]] MemberState state(int member) const {
     return state_[static_cast<std::size_t>(member)];
   }
@@ -116,6 +122,7 @@ class MembershipService {
   std::vector<int> router_of_;               ///< attach router per member
   std::vector<sim::ChannelId> eject_of_;     ///< ejection channel per member
   std::vector<std::vector<sim::ChannelId>> rev_;  ///< reverse adjacency
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace pcm::rt

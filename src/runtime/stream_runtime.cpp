@@ -50,6 +50,21 @@ StreamResult stream_fast(const MulticastRuntime& rtm, sim::Simulator& sim,
 
   auto trace = [&](StreamEvent::Kind kind, Time t, int slot, int pos) {
     if (cfg.record_trace) res.trace.push_back(StreamEvent{kind, t, slot, 0, pos});
+    if (obs::FlightRecorder* rec = cfg.recorder) {
+      switch (kind) {
+        case StreamEvent::Kind::kInject:
+          rec->record(obs::EventKind::kSlotInject, t, slot, 0, pos);
+          break;
+        case StreamEvent::Kind::kDeliver:
+          rec->record(obs::EventKind::kSlotDeliver, t, slot, 0, pos);
+          break;
+        case StreamEvent::Kind::kFrontier:
+          rec->record(obs::EventKind::kSlotCommit, t, slot, 0);
+          break;
+        default:
+          break;
+      }
+    }
   };
 
   std::vector<std::vector<Time>> next_op(
@@ -198,6 +213,37 @@ StreamResult stream_reliable(const MulticastRuntime& rtm, sim::Simulator& sim,
   auto trace = [&](StreamEvent::Kind kind, Time t, int slot, int ep, int pos) {
     if (cfg.record_trace)
       res.trace.push_back(StreamEvent{kind, t, slot, ep, pos});
+    if (obs::FlightRecorder* rec = cfg.recorder) {
+      switch (kind) {
+        case StreamEvent::Kind::kInject:
+          rec->record(obs::EventKind::kSlotInject, t, slot, ep, pos);
+          break;
+        case StreamEvent::Kind::kDeliver:
+          rec->record(obs::EventKind::kSlotDeliver, t, slot, ep, pos);
+          break;
+        case StreamEvent::Kind::kStaleAck:
+          rec->record(obs::EventKind::kStaleAck, t, slot, ep, pos);
+          break;
+        case StreamEvent::Kind::kFrontier:
+          rec->record(obs::EventKind::kSlotCommit, t, slot, ep);
+          break;
+        case StreamEvent::Kind::kEpoch:
+          rec->record(obs::EventKind::kEpochBump, t, ep, pos, 0);
+          break;
+        case StreamEvent::Kind::kPartition:
+          rec->record(obs::EventKind::kEpochBump, t, ep, pos, 1);
+          break;
+        case StreamEvent::Kind::kFailover:
+          rec->record(obs::EventKind::kFailover, t, ep, pos, slot);
+          break;
+        case StreamEvent::Kind::kRejoin:
+          rec->record(obs::EventKind::kRejoin, t, ep, pos, slot);
+          break;
+        case StreamEvent::Kind::kSuspect:
+        case StreamEvent::Kind::kClear:
+          break;  // the MembershipService records detector verdicts itself
+      }
+    }
   };
 
   // All protocol state is keyed by *original* chain positions; the
@@ -240,6 +286,7 @@ StreamResult stream_reliable(const MulticastRuntime& rtm, sim::Simulator& sim,
     std::vector<NodeId> nodes(static_cast<std::size_t>(k));
     for (int p = 0; p < k; ++p) nodes[static_cast<std::size_t>(p)] = orig.node(p);
     member.emplace(sim, std::move(nodes), cfg.membership);
+    member->set_recorder(cfg.recorder);
   }
   Time next_hb = hb_on ? t0 + hb_period : kTimeInfinity;
   // No heal can arrive after the last fault-plan event plus one full
@@ -332,6 +379,10 @@ StreamResult stream_reliable(const MulticastRuntime& rtm, sim::Simulator& sim,
     m.tag = static_cast<int>(ri);
     sim.post(m);
     ++res.messages;
+    if (cfg.recorder != nullptr)
+      cfg.recorder->record(obs::EventKind::kSendAttempt, op,
+                           static_cast<std::int32_t>(ri), rec.attempt,
+                           rec.recv, rec.slot);
     rec.ack_deadline = ack_deadline_for(op, wire, rec.attempt);
     op += mp.t_hold(wire);
     e = (e + 1) % engines;
@@ -615,6 +666,10 @@ StreamResult stream_reliable(const MulticastRuntime& rtm, sim::Simulator& sim,
       if (!recs[ri].acked) {
         recs[ri].acked = true;
         recs[ri].subtree_deadline = subtree_deadline_for(done, n);
+        if (cfg.recorder != nullptr)
+          cfg.recorder->record(obs::EventKind::kSendAcked, done,
+                               static_cast<std::int32_t>(ri),
+                               recs[ri].attempt, pos, slot);
       }
       return;
     }
@@ -629,6 +684,10 @@ StreamResult stream_reliable(const MulticastRuntime& rtm, sim::Simulator& sim,
       rg.max_done = std::max(rg.max_done, done);
     }
     recs[ri].acked = true;
+    if (cfg.recorder != nullptr)
+      cfg.recorder->record(obs::EventKind::kSendAcked, done,
+                           static_cast<std::int32_t>(ri), recs[ri].attempt,
+                           pos, slot);
     const bool primary = recs[ri].primary;
     const int recv_cur = recs[ri].recv_cur;
     if (n <= 1) {

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "core/algorithms.hpp"
+#include "obs/recorder.hpp"
 #include "runtime/mcast_runtime.hpp"
 #include "runtime/membership.hpp"
 #include "sim/simulator.hpp"
@@ -73,6 +74,10 @@ struct StreamConfig {
   /// and each epoch rebuild).  CLI/chaos hook this to pcmlint so
   /// Theorem-1 contention-freedom is re-checked on every re-split.
   std::function<void(const MulticastTree&)> on_reconfigure;
+  /// Flight recorder for the protocol-level trace (send lifecycles, slot
+  /// frontier, epoch bumps, membership verdicts).  Not owned; nullptr
+  /// (the default) records nothing and allocates nothing.
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 /// One entry of the stream trace (enabled by StreamConfig::record_trace).

@@ -37,6 +37,8 @@ bool EventEngine::advance(Time max_cycles) {
     materialize(max_cycles);
     return false;
   }
+  if (t > sim_.cycle_ && sim_.observer_ != nullptr)
+    sim_.observer_->on_fast_forward(sim_.cycle_, t);
   return process_cycle(t);
 }
 

@@ -86,6 +86,15 @@ class SimObserver {
   /// The watchdog expired; `report` is the forensic dump the simulator
   /// throws with.  Called before the WatchdogError is raised.
   virtual void on_watchdog(const WatchdogReport& report) { (void)report; }
+
+  /// The engine jumped the clock from `from` directly to `to` without
+  /// evaluating the skipped cycles (cycle engine: network quiescent;
+  /// event engine: closed-form laminar fast-forward).  Unlike every other
+  /// hook this is an *engine* artifact, not a workload observable — when
+  /// and how often it fires differs between engines, so observers that
+  /// promise cross-engine identical output must not derive events from it
+  /// (the flight recorder only uses it to arm a span flag).
+  virtual void on_fast_forward(Time from, Time to) { (void)from, (void)to; }
 };
 
 }  // namespace pcm::sim

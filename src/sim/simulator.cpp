@@ -195,7 +195,11 @@ Time Simulator::run_until_idle(Time max_cycles) {
     }
     if (network_quiescent()) {
       // Nothing can move before the next post becomes ready: fast-forward.
-      cycle_ = std::max(cycle_, posts_.top().ready);
+      const Time target = posts_.top().ready;
+      if (target > cycle_) {
+        if (observer_ != nullptr) observer_->on_fast_forward(cycle_, target);
+        cycle_ = target;
+      }
       stalled = 0;
     }
     progress_ = false;
