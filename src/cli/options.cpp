@@ -132,6 +132,10 @@ CliOptions parse_args(std::span<const std::string_view> args) {
       opt.source = static_cast<int>(parse_int(a, value()));
     } else if (a == "--dests") {
       opt.dests = std::string(value());
+    } else if (a == "--forest") {
+      opt.forest = std::string(value());
+    } else if (a == "--offset-search") {
+      opt.offset_search = true;
     } else if (a == "--stream") {
       opt.stream = static_cast<int>(parse_uint_flag(a, value(), 1, 1 << 20));
     } else if (a == "--window") {
@@ -215,22 +219,45 @@ CliOptions parse_args(std::span<const std::string_view> args) {
           "pcmcast: --failover/--rejoin need a failure detector "
           "(add --heartbeat P)");
     if (opt.stream > 0) {
-      if (opt.dests.empty())
+      // The static analyzer (lint_stream) accepts sampled placements and
+      // --compare; the dynamic stream driver keeps the stricter contract.
+      if (opt.dests.empty() && !opt.lint)
         throw std::invalid_argument(
             "pcmcast: --stream needs an explicit placement (--source and "
             "--dests)");
       if (opt.collective != "multicast")
         throw std::invalid_argument(
             "pcmcast: --stream requires --collective multicast");
-      if (opt.lint)
-        throw std::invalid_argument(
-            "pcmcast: --lint is a static analysis; it has no stream model "
-            "(drop --stream)");
-      if (opt.compare || opt.gantt || opt.shuffle_chain)
+      if (opt.gantt || opt.shuffle_chain)
         throw std::invalid_argument(
             "pcmcast: --stream does not combine with "
-            "--compare/--gantt/--shuffle-chain");
+            "--gantt/--shuffle-chain");
+      if (opt.compare && !opt.lint)
+        throw std::invalid_argument(
+            "pcmcast: --stream does not combine with --compare "
+            "(pcmlint --stream --compare ranks the algorithms statically)");
     }
+    if (opt.lint && (opt.heartbeat > 0 || opt.failover || opt.rejoin))
+      throw std::invalid_argument(
+          "pcmcast: --lint has no membership model (drop "
+          "--heartbeat/--failover/--rejoin)");
+    if (!opt.forest.empty()) {
+      if (!opt.lint)
+        throw std::invalid_argument(
+            "pcmcast: --forest is a static forest certification; add --lint "
+            "(or use pcmlint)");
+      if (opt.stream > 0)
+        throw std::invalid_argument(
+            "pcmcast: pick one of --forest (concurrent trees) and --stream "
+            "(one pipelined tree)");
+      if (!opt.dests.empty() || opt.compare || opt.shuffle_chain)
+        throw std::invalid_argument(
+            "pcmcast: --forest carries its own placements (drop "
+            "--source/--dests/--compare/--shuffle-chain)");
+    }
+    if (opt.offset_search && opt.forest.empty())
+      throw std::invalid_argument(
+          "pcmcast: --offset-search requires --forest");
   }
   return opt;
 }
@@ -309,13 +336,23 @@ std::string usage() {
          "                     symbolically and interval-check channel holds\n"
          "                     (no flits simulated); diagnostics exit 1, or 3\n"
          "                     when a Thm 1-2 guaranteed algorithm is flagged\n"
+         "  --forest SPEC      (with --lint) certify N concurrent trees on a\n"
+         "                     shared channel timeline; SPEC is ';'-separated\n"
+         "                     members START:ALG:SRC:D1,D2,... — cross-tree\n"
+         "                     contention or deadlock names both sends, the\n"
+         "                     channel, and the overlap window (exit 1)\n"
+         "  --offset-search    (with --forest) ignore the members' START\n"
+         "                     values and compute each tree's earliest\n"
+         "                     contention-free start, admitting in spec order\n"
          "  --source N         explicit source node (requires --dests)\n"
          "  --dests A,B,...    explicit destination list; replaces the sampled\n"
          "                     placements (one rep) — chaos reproducers use this\n"
          "  --stream N         stream N back-to-back slots through one tree\n"
          "                     (windowed pipelining; needs --source/--dests;\n"
          "                     --faults switches on the reliable protocol with\n"
-         "                     epoch-based recovery)\n"
+         "                     epoch-based recovery); with --lint: derive the\n"
+         "                     schedule symbolically and report the exact\n"
+         "                     steady-state pipeline interval instead\n"
          "  --window W         slot-ring capacity for --stream (default 8;\n"
          "                     1 = stop-and-wait, matches one-shot runs)\n"
          "  --heartbeat P      membership lease cadence in cycles for --stream:\n"
@@ -941,11 +978,236 @@ int run_cli(const CliOptions& opt, std::ostream& os, std::ostream& err) {
   return 0;
 }
 
+namespace {
+
+/// "START:ALG:SRC:D1,D2,...;START:ALG:SRC:..." -> forest members.  The
+/// shared --bytes payload applies to every member; `names` receives the
+/// algorithm name of each member for reporting.
+std::vector<lint::ForestMember> parse_forest_spec(
+    const std::string& spec, const sim::Topology& topo, const MeshShape* shape,
+    TwoParam tp, Bytes payload, std::vector<std::string>* names) {
+  std::vector<lint::ForestMember> members;
+  std::istringstream groups(spec);
+  std::string g;
+  while (std::getline(groups, g, ';')) {
+    if (g.empty()) continue;
+    std::vector<std::string> f;
+    std::istringstream fields(g);
+    std::string tok;
+    while (std::getline(fields, tok, ':')) f.push_back(tok);
+    if (f.size() != 4)
+      throw std::invalid_argument("pcmcast: --forest member '" + g +
+                                  "' must be START:ALG:SRC:D1,D2,...");
+    lint::ForestMember m;
+    m.start = static_cast<Time>(parse_int("--forest start", f[0]));
+    if (m.start < 0)
+      throw std::invalid_argument("pcmcast: --forest start must be >= 0");
+    const auto alg = algorithm_from_name(f[1]);
+    if (!alg)
+      throw std::invalid_argument("pcmcast: --forest unknown algorithm '" +
+                                  f[1] + "'");
+    if (needs_mesh_shape(*alg) && shape == nullptr)
+      throw std::invalid_argument("pcmcast: --forest algorithm " + f[1] +
+                                  " requires a mesh/hypercube topology");
+    const NodeId src = static_cast<NodeId>(parse_int("--forest source", f[2]));
+    std::vector<NodeId> dests;
+    std::istringstream ds(f[3]);
+    while (std::getline(ds, tok, ','))
+      dests.push_back(static_cast<NodeId>(parse_int("--forest dests", tok)));
+    if (dests.empty())
+      throw std::invalid_argument("pcmcast: --forest member '" + g +
+                                  "' has no destinations");
+    if (src < 0 || src >= topo.num_nodes())
+      throw std::invalid_argument("pcmcast: --forest source outside the topology");
+    for (const NodeId d : dests)
+      if (d < 0 || d >= topo.num_nodes())
+        throw std::invalid_argument(
+            "pcmcast: --forest destination outside the topology");
+    m.tree = build_multicast(*alg, src, dests, tp, shape);
+    m.payload = payload;
+    members.push_back(std::move(m));
+    names->push_back(f[1]);
+  }
+  if (members.empty())
+    throw std::invalid_argument("pcmcast: empty --forest spec");
+  return members;
+}
+
+/// `pcmlint --forest SPEC [--offset-search]`: shared-timeline forest
+/// certification (lint_forest), optionally computing each member's
+/// earliest contention-free start first (earliest_clean_offset).
+int run_lint_forest_cli(const CliOptions& opt, std::ostream& os) {
+  const auto topo = make_topology(opt.topology);
+  const MeshShape* shape = mesh_shape_of(*topo);
+  const rt::RuntimeConfig cfg;
+  const sim::SimConfig sim_cfg;
+  const rt::MulticastRuntime rtm(cfg);
+  const TwoParam tp = cfg.machine.two_param(rtm.wire_bytes(opt.bytes, 1));
+  std::vector<std::string> names;
+  std::vector<lint::ForestMember> members =
+      parse_forest_spec(opt.forest, *topo, shape, tp, opt.bytes, &names);
+
+  if (opt.offset_search) {
+    // Admit members in spec order: each starts at the earliest offset
+    // whose rigidly shifted isolated timeline is hold-disjoint from
+    // everything already admitted.  The lint_forest verdict below stays
+    // authoritative: when members share CPUs, queuing on the shared
+    // software timeline can still perturb the admitted schedules.
+    lint::ChannelReservations reserved;
+    for (lint::ForestMember& m : members) {
+      m.start = lint::earliest_clean_offset(m.tree, *topo, cfg, sim_cfg,
+                                            m.payload, reserved);
+      reserved.add(lint::lint_schedule(m.tree, *topo, cfg, sim_cfg, m.payload,
+                                       m.start));
+    }
+  }
+
+  const lint::ForestOptions fopts;
+  const lint::ForestReport rep =
+      lint::lint_forest(members, *topo, cfg, sim_cfg, fopts);
+
+  os << "pcmlint: forest of " << members.size() << " tree(s) on "
+     << opt.topology << ", " << opt.bytes << " B"
+     << (opt.offset_search ? ", offsets searched" : "")
+     << " (static, no flits)\n";
+  os << "machine: " << describe(cfg.machine, opt.bytes) << "\n\n";
+
+  analysis::Table rows(
+      {"tree", "algorithm", "k", "start", "sends", "makespan", "latency"});
+  for (size_t t = 0; t < members.size(); ++t) {
+    const Time mk = t < rep.tree_makespan.size() ? rep.tree_makespan[t] : 0;
+    rows.add_row({std::to_string(t), names[t],
+                  std::to_string(members[t].tree.num_nodes()),
+                  std::to_string(members[t].start),
+                  std::to_string(members[t].tree.sends.size()),
+                  std::to_string(mk), std::to_string(mk - members[t].start)});
+  }
+  os << rows.to_string();
+
+  analysis::Table summary({"trees", "sends", "channels", "max windows",
+                           "intra pairs", "cross pairs", "deadlock",
+                           "makespan", "verdict"});
+  summary.add_row({std::to_string(rep.trees), std::to_string(rep.sends),
+                   std::to_string(rep.channels_used),
+                   std::to_string(rep.max_channel_windows),
+                   std::to_string(rep.intra_pairs),
+                   std::to_string(rep.cross_pairs),
+                   rep.deadlock_free ? "none" : "CYCLE",
+                   std::to_string(rep.makespan),
+                   rep.clean() ? "clean" : "FLAGGED"});
+  os << "\n" << summary.to_string();
+  os << "\nforest: " << rep.describe(members, *topo) << "\n";
+
+  if (!opt.csv.empty()) {
+    std::ofstream f(opt.csv);
+    if (!f) throw std::runtime_error("pcmcast: cannot open " + opt.csv);
+    f << rows.to_csv();
+    os << "csv:     " << opt.csv << "\n";
+  }
+  if (!opt.json.empty()) {
+    harness::JsonReport report("pcmlint", 1);
+    report.set_meta("engine", "static");
+    report.set_meta("seed", std::to_string(opt.seed));
+    report.set_meta("mode", "forest");
+    report.add_table("summary", opt.csv, summary);
+    report.add_table("per-tree", opt.csv, rows);
+    report.write(opt.json);
+    os << "json:    " << opt.json << "\n";
+  }
+  // Cross-tree findings are never a theorem violation — Theorems 1-2
+  // speak about one tree in isolation — so a flagged forest exits 1.
+  return rep.clean() ? 0 : 1;
+}
+
+/// `pcmlint --stream N [--window W] [--compare]`: steady-state pipeline
+/// analysis (lint_stream) of the windowed streaming schedule.
+int run_lint_stream_cli(const CliOptions& opt, std::ostream& os) {
+  const auto topo = make_topology(opt.topology);
+  const MeshShape* shape = mesh_shape_of(*topo);
+  const std::vector<analysis::Placement> placements = make_placements(opt, *topo);
+  const analysis::Placement& p = placements.front();
+  const std::vector<McastAlgorithm> algs = select_algorithms(opt, shape);
+  const int window = opt.window > 0 ? opt.window : 8;  // dynamic default
+
+  const rt::RuntimeConfig cfg;
+  const sim::SimConfig sim_cfg;
+  const rt::MulticastRuntime rtm(cfg);
+  const TwoParam tp = cfg.machine.two_param(rtm.wire_bytes(opt.bytes, 1));
+
+  os << "pcmlint: stream of " << opt.stream << " slot(s), window " << window
+     << ", " << (opt.compare ? std::string("compare") : opt.algorithm)
+     << " on " << opt.topology << ", k="
+     << static_cast<int>(p.dests.size()) + 1 << ", " << opt.bytes
+     << " B, placement 0 of seed " << opt.seed << " (static, no flits)\n";
+  os << "machine: " << describe(cfg.machine, opt.bytes) << "\n\n";
+
+  analysis::Table summary({"algorithm", "guarantee", "clean", "interval",
+                           "busy bound", "busy node", "saturated", "period",
+                           "slot latency", "makespan", "slots/kcycle",
+                           "diagnostics"});
+  int exit_code = 0;
+  bool printed_detail = false;
+  for (const McastAlgorithm alg : algs) {
+    const bool guaranteed = verify::guarantees_contention_free(alg);
+    const MulticastTree tree = build_multicast(alg, p.source, p.dests, tp, shape);
+    const lint::StreamLintReport rep = lint::lint_stream(
+        tree, *topo, cfg, sim_cfg, opt.bytes, opt.stream, window);
+    summary.add_row(
+        {std::string(algorithm_name(alg)), guaranteed ? "Thm 1-2" : "-",
+         rep.clean() ? "yes" : "no", analysis::Table::num(rep.interval, 2),
+         std::to_string(rep.busy_bound), std::to_string(rep.busy_node),
+         rep.saturated ? "yes" : "no",
+         rep.period_slots > 0 ? std::to_string(rep.period_cycles) + "/" +
+                                    std::to_string(rep.period_slots)
+                              : "-",
+         std::to_string(rep.slot_latency), std::to_string(rep.makespan),
+         analysis::Table::num(rep.slots_per_kcycle, 3),
+         std::to_string(rep.diagnostics.size())});
+    if (!rep.clean()) {
+      // The dynamic auditor demands contention freedom of guaranteed
+      // algorithms only at window 1 (deeper windows legally overlap
+      // consecutive slots); mirror that exit contract.
+      exit_code = std::max(exit_code, guaranteed && window == 1 ? 3 : 1);
+      if (!printed_detail) {
+        os << algorithm_name(alg) << ": " << rep.describe(tree, *topo) << "\n\n";
+        printed_detail = true;
+      }
+    }
+  }
+  os << summary.to_string();
+
+  if (!opt.csv.empty()) {
+    std::ofstream f(opt.csv);
+    if (!f) throw std::runtime_error("pcmcast: cannot open " + opt.csv);
+    f << summary.to_csv();
+    os << "csv:     " << opt.csv << "\n";
+  }
+  if (!opt.json.empty()) {
+    harness::JsonReport report("pcmlint", 1);
+    report.set_meta("engine", "static");
+    report.set_meta("seed", std::to_string(opt.seed));
+    report.set_meta("mode", "stream");
+    report.set_meta("slots", std::to_string(opt.stream));
+    report.set_meta("window", std::to_string(window));
+    report.add_table("stream", opt.csv, summary);
+    report.write(opt.json);
+    os << "json:    " << opt.json << "\n";
+  }
+  if (exit_code == 3)
+    os << "pcmlint: GUARANTEE VIOLATION: a Theorem 1-2 algorithm is not "
+          "contention-free at window 1\n";
+  return exit_code;
+}
+
+}  // namespace
+
 int run_lint_cli(const CliOptions& opt, std::ostream& os) {
   if (opt.help) {
     os << usage();
     return 0;
   }
+  if (!opt.forest.empty()) return run_lint_forest_cli(opt, os);
+  if (opt.stream > 0) return run_lint_stream_cli(opt, os);
   const auto topo = make_topology(opt.topology);
   const MeshShape* shape = mesh_shape_of(*topo);
   const std::vector<analysis::Placement> placements = make_placements(opt, *topo);

@@ -40,6 +40,13 @@ struct CliOptions {
   sim::EngineKind engine = sim::EngineKind::kCycle;
   int source = -1;                      ///< explicit source node (with --dests)
   std::string dests;                    ///< explicit comma-separated destinations
+  /// --forest "START:ALG:SRC:D1,D2,..;..": static forest certification of
+  /// N concurrent trees (lint only; see run_lint_cli).
+  std::string forest;
+  /// --offset-search: ignore the forest spec's START values and compute
+  /// each member's earliest contention-free start offset instead,
+  /// admitting trees in spec order (lint::earliest_clean_offset).
+  bool offset_search = false;
   int stream = 0;                       ///< --stream N: slots to stream (0 = one-shot)
   int window = 0;                       ///< --window W: slot ring size (0 = default 8)
   Time heartbeat = 0;                   ///< --heartbeat P: membership lease cadence
@@ -92,6 +99,17 @@ int run_cli(const CliOptions& opt, std::ostream& os);
 /// an algorithm with no theorem guarantee, 3 when an algorithm covered by
 /// Theorems 1–2 (guarantees_contention_free) is flagged — the same
 /// schedules on which --audit exits 3.  (2 stays the caller's catch-all.)
+///
+/// Two v2 modes dispatch from here before the per-tree sweep:
+///  - `--forest SPEC` certifies N concurrent trees on a shared channel
+///    timeline (lint::lint_forest); `--offset-search` additionally
+///    computes each member's earliest contention-free start.  Forest
+///    diagnostics always exit 1: Theorems 1-2 speak about trees in
+///    isolation, so cross-tree contention is never a theorem violation.
+///  - `--stream N [--window W]` analyzes the windowed streaming schedule
+///    (lint::lint_stream): exact steady-state pipeline interval, busy-node
+///    bound, saturation.  Exits 3 only when a guaranteed algorithm is
+///    flagged at window 1 (the regime audit_stream demands be clean).
 int run_lint_cli(const CliOptions& opt, std::ostream& os);
 
 }  // namespace pcm::cli

@@ -17,12 +17,12 @@ struct Hold {
   int send = -1;
 };
 
-/// Finds one cycle in the channel-dependency graph (edge c -> c' when
-/// some message's path traverses c' immediately after c) and returns it,
-/// or an empty vector when the graph is acyclic.  Iterative three-color
-/// DFS over the (deduplicated, sorted — deterministic) edge list.
-std::vector<sim::ChannelId> find_channel_cycle(
-    const std::vector<SendWindow>& sched, int num_channels) {
+}  // namespace
+
+/// Iterative three-color DFS over the (deduplicated, sorted —
+/// deterministic) edge list of the channel-dependency graph.
+std::vector<sim::ChannelId> channel_dependency_cycle(
+    std::span<const SendWindow> sched, int num_channels) {
   std::vector<std::pair<int, int>> edges;
   for (const SendWindow& w : sched)
     for (size_t i = 0; i + 1 < w.path.size(); ++i)
@@ -74,8 +74,6 @@ std::vector<sim::ChannelId> find_channel_cycle(
   }
   return {};
 }
-
-}  // namespace
 
 LintReport lint_tree(const MulticastTree& tree, const sim::Topology& topo,
                      const rt::RuntimeConfig& cfg, const sim::SimConfig& sim_cfg,
@@ -165,7 +163,7 @@ LintReport lint_tree(const MulticastTree& tree, const sim::Topology& topo,
 
   if (opts.check_deadlock) {
     std::vector<sim::ChannelId> cycle =
-        find_channel_cycle(sched, topo.num_channels());
+        channel_dependency_cycle(sched, topo.num_channels());
     if (!cycle.empty()) {
       rep.deadlock_free = false;
       if (rep.diagnostics.size() < static_cast<size_t>(opts.max_diagnostics)) {

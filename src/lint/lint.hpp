@@ -24,8 +24,18 @@
 // cycle: a cyclic channel wait is the classic necessary condition for
 // wormhole deadlock.  Dimension-ordered mesh routing and BMIN turnaround
 // routing are acyclic; custom topologies may not be.
+//
+// v2 adds cross-tree *forest* certification (lint_forest: N trees with
+// start offsets on one shared channel timeline, mirroring
+// MulticastRuntime::run_concurrent), an admission primitive
+// (earliest_clean_offset: minimal start offset keeping a new tree off an
+// admitted set's channel reservations), and steady-state *stream*
+// analysis (lint_stream: the windowed streaming schedule as a periodic
+// extension of the per-send windows, with the exact per-slot pipeline
+// interval extracted from the detected period).
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -133,5 +143,183 @@ std::vector<SendWindow> lint_schedule(const MulticastTree& tree,
 LintReport lint_tree(const MulticastTree& tree, const sim::Topology& topo,
                      const rt::RuntimeConfig& cfg, const sim::SimConfig& sim_cfg,
                      Bytes payload, const LintOptions& opts = {});
+
+/// Shared precondition check of the symbolic timing model (router_delay
+/// >= 1, fifo_capacity >= router_delay + 1); throws std::invalid_argument
+/// naming `who` otherwise.  Every lint entry point calls this.
+void validate_lint_config(const sim::SimConfig& sim_cfg, const char* who);
+
+/// Finds one cycle in the channel-dependency graph of the schedules'
+/// paths (edge c -> c' when some message traverses c' immediately after
+/// c), or returns empty when acyclic.  Exposed so forest/stream analyses
+/// reuse the same deterministic DFS as lint_tree.
+std::vector<sim::ChannelId> channel_dependency_cycle(
+    std::span<const SendWindow> sched, int num_channels);
+
+// ---------------------------------------------------------------------------
+// Forest analysis: N concurrent trees on one shared channel timeline.
+
+/// One tree of a forest: what run_concurrent calls a GroupRun.
+struct ForestMember {
+  MulticastTree tree;
+  Bytes payload = 0;
+  Time start = 0;  ///< activation offset relative to the forest origin
+};
+
+/// A forest finding.  Like LintDiagnostic but each send is qualified by
+/// its tree; for kContention, (tree_a, send_a) reserves the shared
+/// channel first (ties broken by tree then send index).
+struct ForestDiagnostic {
+  DiagKind kind = DiagKind::kContention;
+  int tree_a = -1;
+  int send_a = -1;
+  int tree_b = -1;
+  int send_b = -1;
+  sim::ChannelId channel = -1;
+  Time overlap_begin = 0;
+  Time overlap_end = 0;
+  std::vector<sim::ChannelId> cycle;
+  std::string detail;
+};
+
+struct ForestOptions {
+  int max_diagnostics = 64;
+  bool check_deadlock = true;
+  bool keep_schedules = true;
+};
+
+struct ForestReport {
+  std::vector<ForestDiagnostic> diagnostics;
+  /// Per-member exact timelines (absolute times); empty unless
+  /// keep_schedules.
+  std::vector<std::vector<SendWindow>> schedules;
+  bool structure_ok = true;
+  bool contention_free = true;
+  bool deadlock_free = true;
+  int trees = 0;
+  int sends = 0;               ///< total across the forest
+  int channels_used = 0;
+  int max_channel_windows = 0;
+  int intra_pairs = 0;         ///< overlapping send pairs within one tree
+  int cross_pairs = 0;         ///< overlapping send pairs across trees
+  Time makespan = 0;           ///< last receiver completion, absolute
+  std::vector<Time> tree_makespan;  ///< per member, absolute
+
+  [[nodiscard]] bool clean() const {
+    return structure_ok && contention_free && deadlock_free;
+  }
+  [[nodiscard]] std::string describe(std::span<const ForestMember> members,
+                                     const sim::Topology& topo) const;
+};
+
+/// Derives the exact uncontended timeline of every send of every tree on
+/// the *shared* per-node CPU and NI state — mirroring
+/// MulticastRuntime::run_concurrent, including its quirks: one software
+/// timeline per node (send_engines is not consulted), all sources
+/// activated in member order before the first cycle (so at a shared
+/// source a later member queues behind an earlier one even with a smaller
+/// start offset), and receive processing serialized on the shared CPU
+/// (recv begins at max(delivered, cpu free)).  Delivery events are
+/// replayed in the simulator's handler order — (delivered cycle, ejection
+/// channel id) — so the derivation is exact whenever the dynamic run is
+/// contention-free, and the earliest static overlap is the first dynamic
+/// block (tests enforce verdict equivalence on randomized forests).
+/// Then overlap-scans the combined channel holds and (optionally) checks
+/// the union channel-dependency graph for cycles.
+ForestReport lint_forest(std::span<const ForestMember> members,
+                         const sim::Topology& topo, const rt::RuntimeConfig& cfg,
+                         const sim::SimConfig& sim_cfg,
+                         const ForestOptions& opts = {});
+
+/// Channel reservations of an already-admitted set of schedules, the
+/// input to earliest_clean_offset.
+struct HoldWindow {
+  sim::ChannelId channel = -1;
+  Time begin = 0;
+  Time end = 0;  ///< half-open
+};
+
+struct ChannelReservations {
+  std::vector<HoldWindow> holds;
+  /// Flattens every hold window of `sched` (absolute times) into the set.
+  void add(std::span<const SendWindow> sched);
+};
+
+/// Minimal start offset delta >= 0 at which `tree`, timed in isolation
+/// (lint_schedule at t0 = 0) and rigidly shifted by delta, overlaps none
+/// of `existing`'s reservations.  The shift is exact because the isolated
+/// timeline is shift-invariant for delta >= 0.  This is the admission
+/// primitive of a multi-tenant scheduler: exact when the new tree shares
+/// no CPUs with the admitted set (node-disjoint tenants); when CPUs are
+/// shared, queuing can perturb the timeline, so admit with lint_forest as
+/// the final authority (pcmlint --offset-search does both).
+Time earliest_clean_offset(const MulticastTree& tree, const sim::Topology& topo,
+                           const rt::RuntimeConfig& cfg,
+                           const sim::SimConfig& sim_cfg, Bytes payload,
+                           const ChannelReservations& existing);
+
+// ---------------------------------------------------------------------------
+// Stream analysis: periodic extension of the per-send windows.
+
+struct StreamLintOptions {
+  int max_diagnostics = 64;
+  bool check_deadlock = true;
+};
+
+struct StreamLintReport {
+  /// Contention findings; send_a/send_b carry the streaming tag
+  /// slot * sends_per_slot + send_index (the same tag stream_fast stamps
+  /// on messages).  De-duplicated by (send pattern, slot distance).
+  std::vector<LintDiagnostic> diagnostics;
+  bool structure_ok = true;
+  bool contention_free = true;
+  bool deadlock_free = true;
+  int slots = 0;
+  int window = 0;
+  int sends_per_slot = 0;
+  long long messages = 0;      ///< slots * sends_per_slot
+  int analyzed_slots = 0;      ///< slots iterated symbolically
+  int period_slots = 0;        ///< steady-state period d in slots (0: none found)
+  Time period_cycles = 0;      ///< commit-time advance T per period
+  double interval = 0.0;       ///< per-slot pipeline interval (T / d)
+  Time slot_latency = 0;       ///< commit time of slot 0
+  Time makespan = 0;           ///< commit time of the last slot
+  double slots_per_kcycle = 0.0;  ///< 1000 * slots / makespan
+  /// Analytic lower bounds on the interval: the busiest per-(node,
+  /// engine) software time per slot (sum of t_hold over its sends — the
+  /// objective a throughput-targeted split-table DP minimizes) and the
+  /// busiest channel's flit occupancy per slot.
+  Time busy_bound = 0;
+  NodeId busy_node = kInvalidNode;
+  Time channel_bound = 0;
+  /// The steady interval equals busy_bound: the stream is software-bound
+  /// at busy_node and the window hides all network latency.
+  bool saturated = false;
+  std::vector<Time> commit_time;  ///< per-slot commit times (all slots)
+
+  [[nodiscard]] bool clean() const {
+    return structure_ok && contention_free && deadlock_free;
+  }
+  [[nodiscard]] std::string describe(const MulticastTree& tree,
+                                     const sim::Topology& topo) const;
+};
+
+/// Statically replays StreamRuntime's fault-free windowed pipeline
+/// (stream_fast): per-slot activations through the persistent per-node
+/// engine timelines, window backpressure off the cumulative commit
+/// frontier, and the full-drain resynchronization — as a symbolic event
+/// loop in the simulator's delivery order.  Detects the steady state by
+/// state matching (relative per-node timelines + open-window ring +
+/// pending deliveries), reports the exact per-slot pipeline interval
+/// T / d, and extrapolates the remaining commit times by the recurrence
+/// commit[s] = commit[s - d] + T once every distinct pair class of
+/// channel holds has been overlap-checked.  Exact (bit-identical commit
+/// times, and verdict-equivalent to channel_conflicts == 0) under the
+/// single-candidate-routing caveats documented above.
+StreamLintReport lint_stream(const MulticastTree& tree, const sim::Topology& topo,
+                             const rt::RuntimeConfig& cfg,
+                             const sim::SimConfig& sim_cfg, Bytes payload,
+                             int slots, int window,
+                             const StreamLintOptions& opts = {});
 
 }  // namespace pcm::lint

@@ -21,24 +21,31 @@
 #include <algorithm>
 #include <functional>
 #include <stdexcept>
+#include <string>
 
 #include "lint/lint.hpp"
 
 namespace pcm::lint {
+
+void validate_lint_config(const sim::SimConfig& sim_cfg, const char* who) {
+  if (sim_cfg.router_delay < 1)
+    throw std::invalid_argument(
+        std::string(who) +
+        ": router_delay must be >= 1 (at 0 the simulator's sub-cycle sweep "
+        "order decides channel hand-offs)");
+  if (sim_cfg.fifo_capacity < sim_cfg.router_delay + 1)
+    throw std::invalid_argument(
+        std::string(who) +
+        ": fifo_capacity must be >= router_delay + 1 for a bubble-free "
+        "wormhole pipeline");
+}
 
 std::vector<SendWindow> lint_schedule(const MulticastTree& tree,
                                       const sim::Topology& topo,
                                       const rt::RuntimeConfig& cfg,
                                       const sim::SimConfig& sim_cfg,
                                       Bytes payload, Time t0) {
-  if (sim_cfg.router_delay < 1)
-    throw std::invalid_argument(
-        "lint_schedule: router_delay must be >= 1 (at 0 the simulator's "
-        "sub-cycle sweep order decides channel hand-offs)");
-  if (sim_cfg.fifo_capacity < sim_cfg.router_delay + 1)
-    throw std::invalid_argument(
-        "lint_schedule: fifo_capacity must be >= router_delay + 1 for a "
-        "bubble-free wormhole pipeline");
+  validate_lint_config(sim_cfg, "lint_schedule");
 
   const MachineParams& mp = cfg.machine;
   const rt::MulticastRuntime runtime(cfg);

@@ -135,6 +135,48 @@ ChaosScenario make_scenario(std::uint64_t root_seed, int index) {
   return s;
 }
 
+ForestScenario make_forest_scenario(std::uint64_t root_seed, int index) {
+  analysis::Rng rng(harness::substream_seed(root_seed ^ 0x464f524553542121ULL,
+                                            static_cast<std::uint64_t>(index)));
+  ForestScenario s;
+  s.index = index;
+  static constexpr const char* kTopologies[] = {"mesh:4",  "mesh:8", "mesh:8",
+                                                "mesh:16", "bmin:32", "bmin:64"};
+  s.topology = kTopologies[rng.below(6)];
+  const BuiltTopology t = build_topology(s.topology);
+  const int n = t.topo->num_nodes();
+  const bool is_mesh = t.shape != nullptr;
+
+  const int trees = 2 + static_cast<int>(rng.below(3));
+  static constexpr Bytes kSizes[] = {64, 512, 1024, 4096};
+  for (int g = 0; g < trees; ++g) {
+    ForestScenarioGroup grp;
+    // Mostly the Theorem-guaranteed algorithms: their trees are clean in
+    // isolation, so any forest diagnostic is genuinely cross-tree (or
+    // CPU-sharing induced) — the interesting verdicts to differential-test.
+    const std::uint64_t pick = rng.below(10);
+    if (is_mesh) {
+      grp.alg = pick < 5   ? McastAlgorithm::kOptMesh
+                : pick < 8 ? McastAlgorithm::kUMesh
+                           : McastAlgorithm::kOptTree;
+    } else {
+      grp.alg = pick < 5   ? McastAlgorithm::kOptMin
+                : pick < 8 ? McastAlgorithm::kUMin
+                           : McastAlgorithm::kOptTree;
+    }
+    const int kmax = std::min(n, 16);
+    const int k =
+        2 + static_cast<int>(rng.below(static_cast<std::uint64_t>(kmax - 1)));
+    const analysis::Placement p = analysis::sample_placement(rng, n, k);
+    grp.source = p.source;
+    grp.dests = p.dests;
+    grp.bytes = kSizes[rng.below(4)];
+    grp.start = rng.below(100) < 50 ? 0 : static_cast<Time>(rng.below(6000));
+    s.groups.push_back(std::move(grp));
+  }
+  return s;
+}
+
 ChaosScenario make_stream_scenario(std::uint64_t root_seed, int index) {
   analysis::Rng rng(harness::substream_seed(root_seed ^ 0x5357524d5354524dULL,
                                             static_cast<std::uint64_t>(index)));

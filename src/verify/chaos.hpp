@@ -59,6 +59,31 @@ ChaosScenario make_scenario(std::uint64_t root_seed, int index);
 /// make_scenario, so sweeps stay bit-identical at any --jobs.
 ChaosScenario make_stream_scenario(std::uint64_t root_seed, int index);
 
+/// One member of a forest scenario: a (algorithm, placement, payload)
+/// group plus its activation offset, what run_concurrent calls a GroupRun
+/// and lint_forest a ForestMember.
+struct ForestScenarioGroup {
+  McastAlgorithm alg = McastAlgorithm::kOptMesh;
+  NodeId source = 0;
+  std::vector<NodeId> dests;
+  Bytes bytes = 1024;
+  Time start = 0;
+};
+
+/// Concurrent-multicast scenario for the static==dynamic forest
+/// differential sweep: 2-4 trees on one topology, sampled with the same
+/// substream discipline as make_scenario (fault-free — lint_forest
+/// models the fault-free shared timeline).  Sources and destinations of
+/// different groups may collide; starts mix zero and staggered offsets.
+struct ForestScenario {
+  int index = 0;
+  std::string topology;  ///< "mesh:S" | "bmin:N"
+  std::vector<ForestScenarioGroup> groups;
+};
+
+/// Deterministically generates forest scenario `index` of `root_seed`.
+ForestScenario make_forest_scenario(std::uint64_t root_seed, int index);
+
 struct ScenarioOutcome {
   bool violated = false;
   std::string violation;  ///< what() of the violation; empty when clean

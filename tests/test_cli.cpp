@@ -383,15 +383,32 @@ TEST(CliParse, StreamRejectionsNameTheFlag) {
   EXPECT_NE(message_of({"--stream", "4"}).find("--stream"), std::string::npos);
   // --window without --stream.
   EXPECT_NE(message_of({"--window", "4"}).find("--window"), std::string::npos);
-  // Streams are dynamic multicast-only workloads.
+  // Streams are multicast-only workloads.
   EXPECT_THROW(parse_args(sv({"--stream", "4", "--source", "0", "--dests", "1",
                               "--collective", "reduce"})),
                std::invalid_argument);
-  EXPECT_THROW(parse_args(sv({"--stream", "4", "--source", "0", "--dests", "1",
-                              "--lint"})),
-               std::invalid_argument);
+  // --lint --stream is the static pipeline analyzer: it parses, and it
+  // relaxes the explicit-placement and --compare restrictions.
+  EXPECT_TRUE(parse_args(sv({"--stream", "4", "--source", "0", "--dests", "1",
+                             "--lint"}))
+                  .lint);
+  EXPECT_TRUE(parse_args(sv({"--stream", "4", "--lint", "--compare"})).compare);
   EXPECT_THROW(parse_args(sv({"--stream", "4", "--source", "0", "--dests", "1",
                               "--compare"})),
+               std::invalid_argument);
+  // But the membership machinery stays dynamic-only.
+  EXPECT_THROW(parse_args(sv({"--stream", "4", "--lint", "--heartbeat", "50"})),
+               std::invalid_argument);
+  // Forest certification: --lint only, carries its own placements, and
+  // --offset-search needs it.
+  EXPECT_TRUE(parse_args(sv({"--lint", "--forest", "0:opt-mesh:0:1,2"}))
+                  .forest.size() > 0);
+  EXPECT_THROW(parse_args(sv({"--forest", "0:opt-mesh:0:1,2"})),
+               std::invalid_argument);
+  EXPECT_THROW(parse_args(sv({"--lint", "--forest", "0:opt-mesh:0:1,2",
+                              "--stream", "4"})),
+               std::invalid_argument);
+  EXPECT_THROW(parse_args(sv({"--lint", "--offset-search"})),
                std::invalid_argument);
 }
 

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
@@ -20,6 +22,7 @@
 #include "lint/lint.hpp"
 #include "mesh/mesh_topology.hpp"
 #include "runtime/mcast_runtime.hpp"
+#include "runtime/stream_runtime.hpp"
 #include "sim/simulator.hpp"
 #include "verify/chaos.hpp"
 #include "verify/invariant_auditor.hpp"
@@ -595,6 +598,460 @@ TEST(LintCli, RunCliRoutesLintFlag) {
   EXPECT_EQ(cli::run_cli(opt, os), 0);
   EXPECT_NE(os.str().find("pcmlint:"), std::string::npos);
   EXPECT_NE(os.str().find("static, no flits"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Forest certification (v2): the static shared-timeline verdict must
+// equal run_concurrent's, both directions, over >= 200 random forests.
+
+TEST(LintForest, StaticVerdictMatchesConcurrentSimOn200Scenarios) {
+  const rt::RuntimeConfig cfg;
+  const rt::MulticastRuntime rtm(cfg);
+  int clean_count = 0, contended_count = 0;
+  for (int i = 0; i < 200; ++i) {
+    const verify::ForestScenario s = verify::make_forest_scenario(20260809, i);
+    const auto topo = cli::make_topology(s.topology);
+    const MeshShape* shape = cli::mesh_shape_of(*topo);
+    std::vector<lint::ForestMember> members;
+    std::vector<rt::MulticastRuntime::GroupRun> groups;
+    for (const verify::ForestScenarioGroup& g : s.groups) {
+      const TwoParam tp = cfg.machine.two_param(rtm.wire_bytes(g.bytes, 1));
+      lint::ForestMember m;
+      m.tree = build_multicast(g.alg, g.source, g.dests, tp, shape);
+      m.payload = g.bytes;
+      m.start = g.start;
+      groups.push_back(rt::MulticastRuntime::GroupRun{m.tree, g.bytes, g.start});
+      members.push_back(std::move(m));
+    }
+    const lint::ForestReport rep =
+        lint::lint_forest(members, *topo, cfg, sim::SimConfig{});
+    ASSERT_TRUE(rep.structure_ok) << "scenario " << i;
+    ASSERT_TRUE(rep.deadlock_free) << "scenario " << i;
+
+    sim::Simulator sim(*topo);
+    const std::vector<rt::McastResult> results =
+        rtm.run_concurrent(sim, std::move(groups));
+    long long conflicts = 0;
+    for (const rt::McastResult& r : results) conflicts += r.channel_conflicts;
+    EXPECT_EQ(rep.contention_free, conflicts == 0)
+        << "scenario " << i << " (" << s.topology << ", " << s.groups.size()
+        << " trees): static="
+        << (rep.contention_free ? "clean" : "contended")
+        << " dynamic conflicts=" << conflicts;
+    if (rep.contention_free && conflicts == 0) {
+      // On certified-clean forests the symbolic per-tree makespans are the
+      // exact simulated latencies (latency is measured from each group's
+      // own start).
+      ASSERT_EQ(rep.tree_makespan.size(), results.size());
+      for (size_t t = 0; t < results.size(); ++t)
+        EXPECT_EQ(rep.tree_makespan[t] - s.groups[t].start, results[t].latency)
+            << "scenario " << i << " tree " << t;
+      ++clean_count;
+    } else {
+      ++contended_count;
+    }
+  }
+  // The sweep must exercise both verdicts to mean anything.
+  EXPECT_GT(clean_count, 10);
+  EXPECT_GT(contended_count, 10);
+}
+
+TEST(LintForest, CrossTreeDiagnosticNamesTheWitness) {
+  mesh::MeshTopology topo(MeshShape::square2d(8));
+  const rt::RuntimeConfig cfg;
+  const rt::MulticastRuntime rtm(cfg);
+  const TwoParam tp = cfg.machine.two_param(rtm.wire_bytes(512, 1));
+  std::vector<lint::ForestMember> members(2);
+  members[0].tree = build_multicast(McastAlgorithm::kOptMesh, 0,
+                                    std::vector<NodeId>{1, 2, 3, 9}, tp,
+                                    &topo.shape());
+  members[0].payload = 512;
+  members[1].tree = build_multicast(McastAlgorithm::kOptMesh, 1,
+                                    std::vector<NodeId>{2, 3, 4, 10}, tp,
+                                    &topo.shape());
+  members[1].payload = 512;
+
+  const lint::ForestReport rep =
+      lint::lint_forest(members, topo, cfg, sim::SimConfig{});
+  ASSERT_FALSE(rep.contention_free);
+  EXPECT_GT(rep.cross_pairs, 0);
+  const lint::ForestDiagnostic& d = rep.diagnostics.front();
+  EXPECT_EQ(d.kind, DiagKind::kContention);
+  EXPECT_NE(d.tree_a, d.tree_b);  // the earliest overlap here is cross-tree
+  EXPECT_GE(d.send_a, 0);
+  EXPECT_GE(d.send_b, 0);
+  EXPECT_GE(d.channel, 0);
+  EXPECT_LT(d.overlap_begin, d.overlap_end);
+  const std::string text = rep.describe(members, topo);
+  EXPECT_NE(text.find("cross-tree contention"), std::string::npos);
+  EXPECT_NE(text.find("tree#"), std::string::npos);
+  EXPECT_NE(text.find("mesh("), std::string::npos);
+  EXPECT_NE(text.find("during ["), std::string::npos);
+
+  // Dynamic ground truth: the concurrent run really does block.
+  sim::Simulator sim(topo);
+  std::vector<rt::MulticastRuntime::GroupRun> groups;
+  for (const lint::ForestMember& m : members)
+    groups.push_back(rt::MulticastRuntime::GroupRun{m.tree, m.payload, m.start});
+  long long conflicts = 0;
+  for (const rt::McastResult& r : rtm.run_concurrent(sim, std::move(groups)))
+    conflicts += r.channel_conflicts;
+  EXPECT_GT(conflicts, 0);
+}
+
+TEST(LintForest, SingleMemberAndSingleDestinationEdgeCases) {
+  mesh::MeshTopology topo(MeshShape::square2d(8));
+  const rt::RuntimeConfig cfg;
+  const rt::MulticastRuntime rtm(cfg);
+  const TwoParam tp = cfg.machine.two_param(rtm.wire_bytes(64, 1));
+  // A k=2 tree (single destination) through the forest entry point
+  // degenerates to lint_tree's verdict and makespan.
+  std::vector<lint::ForestMember> members(1);
+  members[0].tree =
+      build_multicast(McastAlgorithm::kOptMesh, 0, std::vector<NodeId>{9}, tp,
+                      &topo.shape());
+  members[0].payload = 64;
+  const lint::ForestReport rep =
+      lint::lint_forest(members, topo, cfg, sim::SimConfig{});
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.trees, 1);
+  EXPECT_EQ(rep.sends, 1);
+  const LintReport one =
+      lint::lint_tree(members[0].tree, topo, cfg, sim::SimConfig{}, 64);
+  EXPECT_TRUE(one.clean());
+  EXPECT_EQ(rep.makespan, one.makespan);
+  ASSERT_EQ(rep.tree_makespan.size(), 1u);
+  EXPECT_EQ(rep.tree_makespan[0], one.makespan);
+}
+
+TEST(LintForest, RejectsBadInputsAndConfigs) {
+  mesh::MeshTopology topo(MeshShape::square2d(4));
+  const rt::RuntimeConfig cfg;
+  const rt::MulticastRuntime rtm(cfg);
+  const TwoParam tp = cfg.machine.two_param(rtm.wire_bytes(64, 1));
+  // The source among its own destinations is rejected at tree build time.
+  EXPECT_THROW(
+      build_multicast(McastAlgorithm::kOptMesh, 0, std::vector<NodeId>{0, 1}, tp,
+                      &topo.shape()),
+      std::invalid_argument);
+  std::vector<lint::ForestMember> members(1);
+  members[0].tree =
+      build_multicast(McastAlgorithm::kOptMesh, 0, std::vector<NodeId>{1}, tp,
+                      &topo.shape());
+  members[0].payload = 64;
+  // Negative start offsets are meaningless.
+  members[0].start = -1;
+  EXPECT_THROW(lint::lint_forest(members, topo, cfg, sim::SimConfig{}),
+               std::invalid_argument);
+  members[0].start = 0;
+  // The timing-model preconditions hold for every v2 entry point.
+  sim::SimConfig zero_delay;
+  zero_delay.router_delay = 0;
+  EXPECT_THROW(lint::lint_forest(members, topo, cfg, zero_delay),
+               std::invalid_argument);
+  EXPECT_THROW(lint::earliest_clean_offset(members[0].tree, topo, cfg,
+                                           zero_delay, 64, {}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      lint::lint_stream(members[0].tree, topo, cfg, zero_delay, 64, 4, 2),
+      std::invalid_argument);
+  sim::SimConfig shallow;
+  shallow.router_delay = 3;
+  shallow.fifo_capacity = 3;  // == rd: pipeline would bubble
+  EXPECT_THROW(lint::lint_forest(members, topo, cfg, shallow),
+               std::invalid_argument);
+  shallow.fifo_capacity = 4;  // == rd + 1: analyzable again
+  EXPECT_TRUE(lint::lint_forest(members, topo, cfg, shallow).clean());
+  // Stream-shape validation.
+  EXPECT_THROW(
+      lint::lint_stream(members[0].tree, topo, cfg, sim::SimConfig{}, 64, 0, 2),
+      std::invalid_argument);
+  EXPECT_THROW(
+      lint::lint_stream(members[0].tree, topo, cfg, sim::SimConfig{}, 64, 4, 0),
+      std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Admission: earliest_clean_offset must return the *minimal* clean shift.
+
+TEST(LintOffset, EarliestCleanOffsetIsMinimalAndExact) {
+  mesh::MeshTopology topo(MeshShape::square2d(8));
+  const rt::RuntimeConfig cfg;
+  const rt::MulticastRuntime rtm(cfg);
+  const Bytes payload = 512;
+  const TwoParam tp = cfg.machine.two_param(rtm.wire_bytes(payload, 1));
+  // Node-disjoint tenants sharing a row channel: 0 -> 3 traverses
+  // (1, d0+), which 1 -> 2 also needs.  Rigid shifting is exact here.
+  const MulticastTree a =
+      build_multicast(McastAlgorithm::kOptMesh, 0, std::vector<NodeId>{3}, tp,
+                      &topo.shape());
+  const MulticastTree b =
+      build_multicast(McastAlgorithm::kOptMesh, 1, std::vector<NodeId>{2}, tp,
+                      &topo.shape());
+
+  // No reservations: admit immediately.
+  EXPECT_EQ(lint::earliest_clean_offset(b, topo, cfg, sim::SimConfig{}, payload,
+                                        {}),
+            0);
+
+  lint::ChannelReservations reserved;
+  reserved.add(lint::lint_schedule(a, topo, cfg, sim::SimConfig{}, payload, 0));
+  const Time delta = lint::earliest_clean_offset(b, topo, cfg, sim::SimConfig{},
+                                                 payload, reserved);
+  ASSERT_GT(delta, 0) << "the construction must actually collide at offset 0";
+
+  auto forest_at = [&](Time start_b) {
+    std::vector<lint::ForestMember> members(2);
+    members[0].tree = a;
+    members[0].payload = payload;
+    members[1].tree = b;
+    members[1].payload = payload;
+    members[1].start = start_b;
+    return lint::lint_forest(members, topo, cfg, sim::SimConfig{});
+  };
+  // Clean at delta, contended one cycle earlier: delta is minimal.
+  EXPECT_TRUE(forest_at(delta).clean());
+  EXPECT_FALSE(forest_at(delta - 1).clean());
+
+  // Dynamic confirmation of both sides of the boundary.
+  auto conflicts_at = [&](Time start_b) {
+    sim::Simulator sim(topo);
+    std::vector<rt::MulticastRuntime::GroupRun> groups;
+    groups.push_back(rt::MulticastRuntime::GroupRun{a, payload, 0});
+    groups.push_back(rt::MulticastRuntime::GroupRun{b, payload, start_b});
+    long long total = 0;
+    for (const rt::McastResult& r : rtm.run_concurrent(sim, std::move(groups)))
+      total += r.channel_conflicts;
+    return total;
+  };
+  EXPECT_EQ(conflicts_at(delta), 0);
+  EXPECT_GT(conflicts_at(delta - 1), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Stream analysis (v2): lint_stream must replay stream_fast bit-exactly.
+
+TEST(LintStream, ExactAgainstStreamRuntime) {
+  struct Case {
+    std::unique_ptr<sim::Topology> topo;
+    const MeshShape* shape;
+    std::vector<McastAlgorithm> algs;
+  };
+  std::vector<Case> cases;
+  {
+    auto m = std::make_unique<mesh::MeshTopology>(MeshShape::square2d(8));
+    const MeshShape* s = &m->shape();
+    cases.push_back(Case{std::move(m),
+                         s,
+                         {McastAlgorithm::kOptMesh, McastAlgorithm::kUMesh,
+                          McastAlgorithm::kBinomial}});
+    cases.push_back(Case{std::make_unique<bmin::BminTopology>(32),
+                         nullptr,
+                         {McastAlgorithm::kOptMin, McastAlgorithm::kUMin}});
+  }
+  const rt::RuntimeConfig cfg;
+  const rt::MulticastRuntime rtm(cfg);
+  const rt::StreamRuntime srt(rtm);
+  const Bytes payload = 256;
+  const TwoParam tp = cfg.machine.two_param(rtm.wire_bytes(payload, 1));
+  int compared = 0;
+  for (const Case& c : cases) {
+    const auto placements =
+        analysis::sample_placements(77, c.topo->num_nodes(), 8, 1);
+    const analysis::Placement& p = placements[0];
+    for (const McastAlgorithm alg : c.algs) {
+      const MulticastTree tree =
+          build_multicast(alg, p.source, p.dests, tp, c.shape);
+      for (const int window : {1, 2, 3}) {
+        for (const int slots : {1, 7, 40}) {
+          const lint::StreamLintReport rep = lint::lint_stream(
+              tree, *c.topo, cfg, sim::SimConfig{}, payload, slots, window);
+          ASSERT_TRUE(rep.structure_ok);
+          sim::Simulator sim(*c.topo);
+          rt::StreamConfig scfg;
+          scfg.window_size = window;
+          scfg.slots = slots;
+          scfg.bytes = payload;
+          scfg.alg = alg;
+          scfg.shape = c.shape;
+          const rt::StreamResult res =
+              srt.run(sim, p.source, p.dests, scfg, 0);
+          EXPECT_EQ(rep.contention_free, res.channel_conflicts == 0)
+              << algorithm_name(alg) << " w=" << window << " slots=" << slots;
+          EXPECT_EQ(rep.messages, res.messages);
+          if (rep.contention_free && res.channel_conflicts == 0) {
+            // Certified clean: the symbolic commit times are the
+            // simulator's, slot for slot, including the extrapolated tail.
+            EXPECT_EQ(rep.makespan, res.makespan)
+                << algorithm_name(alg) << " w=" << window
+                << " slots=" << slots;
+            ASSERT_EQ(rep.commit_time.size(), res.commit_time.size());
+            for (size_t sl = 0; sl < res.commit_time.size(); ++sl)
+              ASSERT_EQ(rep.commit_time[sl], res.commit_time[sl])
+                  << algorithm_name(alg) << " w=" << window << " slots="
+                  << slots << " slot " << sl;
+            ++compared;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(compared, 20);
+}
+
+TEST(LintStream, StaticallyReproducesE19) {
+  // E19 (EXPERIMENTS.md): pipelined U-Mesh out-streams OPT-Mesh on the
+  // 16x16 mesh at k=16, 64 B — U-Mesh trades one-shot latency for a
+  // shorter source busy time (4 sends of ~407 vs 5 of ~406), which is the
+  // steady-state interval once the window hides network latency.  The
+  // static analyzer must reproduce the measured intervals and makespans
+  // without simulating a flit.
+  mesh::MeshTopology topo(MeshShape::square2d(16));
+  const rt::RuntimeConfig cfg;
+  const rt::MulticastRuntime rtm(cfg);
+  const Bytes payload = 64;
+  const TwoParam tp = cfg.machine.two_param(rtm.wire_bytes(payload, 1));
+  const auto placements = analysis::sample_placements(1997, 256, 16, 4);
+  const int slots = 8000;
+
+  double opt_w2 = 0, u_w2 = 0, opt_w1 = 0, u_w1 = 0;
+  for (const analysis::Placement& p : placements) {
+    const MulticastTree opt_tree =
+        build_multicast(McastAlgorithm::kOptMesh, p.source, p.dests, tp,
+                        &topo.shape());
+    const MulticastTree u_tree = build_multicast(
+        McastAlgorithm::kUMesh, p.source, p.dests, tp, &topo.shape());
+    const lint::StreamLintReport o2 = lint::lint_stream(
+        opt_tree, topo, cfg, sim::SimConfig{}, payload, slots, 2);
+    const lint::StreamLintReport u2 = lint::lint_stream(
+        u_tree, topo, cfg, sim::SimConfig{}, payload, slots, 2);
+    // The steady interval is the source's software busy time: 5 sends for
+    // OPT-Mesh (~2032), 4 for U-Mesh (~1626), and the window hides the
+    // network, so both streams are software-saturated.
+    EXPECT_TRUE(o2.clean());
+    EXPECT_TRUE(u2.clean());
+    EXPECT_EQ(o2.busy_bound, 2032);
+    EXPECT_EQ(u2.busy_bound, 1626);
+    EXPECT_TRUE(o2.saturated);
+    EXPECT_TRUE(u2.saturated);
+    EXPECT_DOUBLE_EQ(o2.interval, 2032.0);
+    EXPECT_DOUBLE_EQ(u2.interval, 1626.0);
+    EXPECT_GT(u2.slots_per_kcycle, o2.slots_per_kcycle);
+    opt_w2 += static_cast<double>(o2.makespan) / 4;
+    u_w2 += static_cast<double>(u2.makespan) / 4;
+    // Window 1 (stop-and-wait) reverses the ordering: the full round trip
+    // is on the critical path and OPT-Mesh's shallower tree wins.
+    const lint::StreamLintReport o1 = lint::lint_stream(
+        opt_tree, topo, cfg, sim::SimConfig{}, payload, slots, 1);
+    const lint::StreamLintReport u1 = lint::lint_stream(
+        u_tree, topo, cfg, sim::SimConfig{}, payload, slots, 1);
+    EXPECT_GT(o1.slots_per_kcycle, u1.slots_per_kcycle);
+    opt_w1 += static_cast<double>(o1.makespan) / 4;
+    u_w1 += static_cast<double>(u1.makespan) / 4;
+  }
+  // The golden mean makespans of bench_stream's fault-free measured runs
+  // (fig2 parameters, reps 0-3) — static must land within 1%.
+  EXPECT_NEAR(opt_w2, 16256560.0, 16256560.0 * 0.01);
+  EXPECT_NEAR(u_w2, 13009280.0, 13009280.0 * 0.01);
+  EXPECT_NEAR(opt_w1, 20736000.0, 20736000.0 * 0.01);
+  EXPECT_NEAR(u_w1, 23252000.0, 23252000.0 * 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// CLI: the v2 drivers and their exit-code / JSON-envelope contracts.
+
+TEST(LintCliV2, ForestCleanContendedAndOffsetSearch) {
+  cli::CliOptions opt;
+  opt.lint = true;
+  opt.topology = "mesh:8";
+  opt.bytes = 512;
+  {
+    opt.forest = "0:opt-mesh:0:1,2,3,9;0:opt-mesh:36:37,38,44,45";
+    std::ostringstream os;
+    EXPECT_EQ(cli::run_lint_cli(opt, os), 0) << os.str();
+    EXPECT_NE(os.str().find("clean"), std::string::npos);
+  }
+  {
+    opt.forest = "0:opt-mesh:0:1,2,3,9;0:opt-mesh:1:2,3,4,10";
+    std::ostringstream os;
+    EXPECT_EQ(cli::run_lint_cli(opt, os), 1) << os.str();
+    EXPECT_NE(os.str().find("cross-tree contention"), std::string::npos);
+  }
+  {
+    opt.offset_search = true;
+    std::ostringstream os;
+    EXPECT_EQ(cli::run_lint_cli(opt, os), 0) << os.str();
+    EXPECT_NE(os.str().find("offsets searched"), std::string::npos);
+    opt.offset_search = false;
+  }
+  {
+    opt.forest = "0:opt-mesh:0:bogus";
+    std::ostringstream os;
+    EXPECT_THROW((void)cli::run_lint_cli(opt, os), std::invalid_argument);
+  }
+}
+
+TEST(LintCliV2, StreamDriverReportsIntervalAndExitCodes) {
+  cli::CliOptions opt;
+  opt.lint = true;
+  opt.topology = "mesh:16";
+  opt.nodes = 16;
+  opt.bytes = 64;
+  opt.stream = 200;
+  opt.window = 2;
+  opt.reps = 1;
+  {
+    opt.compare = true;
+    std::ostringstream os;
+    EXPECT_EQ(cli::run_lint_cli(opt, os), 0) << os.str();
+    EXPECT_NE(os.str().find("interval"), std::string::npos);
+    EXPECT_NE(os.str().find("OPT-Mesh"), std::string::npos);
+    EXPECT_NE(os.str().find("U-Mesh"), std::string::npos);
+    opt.compare = false;
+  }
+}
+
+TEST(LintCliV2, JsonEnvelopeKeysPinned) {
+  const std::string path = testing::TempDir() + "/pcmlint_v2_envelope.json";
+  auto read_all = [&]() {
+    std::ifstream f(path);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+  };
+  {
+    cli::CliOptions opt;
+    opt.lint = true;
+    opt.topology = "mesh:8";
+    opt.bytes = 512;
+    opt.forest = "0:opt-mesh:0:1,2,3,9";
+    opt.json = path;
+    std::ostringstream os;
+    EXPECT_EQ(cli::run_lint_cli(opt, os), 0);
+    const std::string j = read_all();
+    EXPECT_NE(j.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(j.find("\"engine\": \"static\""), std::string::npos);
+    EXPECT_NE(j.find("\"seed\""), std::string::npos);
+    EXPECT_NE(j.find("\"jobs\""), std::string::npos);
+    EXPECT_NE(j.find("\"mode\": \"forest\""), std::string::npos);
+  }
+  {
+    cli::CliOptions opt;
+    opt.lint = true;
+    opt.topology = "mesh:8";
+    opt.nodes = 8;
+    opt.stream = 50;
+    opt.window = 2;
+    opt.json = path;
+    std::ostringstream os;
+    EXPECT_EQ(cli::run_lint_cli(opt, os), 0);
+    const std::string j = read_all();
+    EXPECT_NE(j.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(j.find("\"engine\": \"static\""), std::string::npos);
+    EXPECT_NE(j.find("\"mode\": \"stream\""), std::string::npos);
+    EXPECT_NE(j.find("\"window\": \"2\""), std::string::npos);
+  }
+  std::remove(path.c_str());
 }
 
 TEST(LintCli, ParseRejectsContradictoryModes) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "analysis/table.hpp"
+#include "harness/harness.hpp"
 #include "verify/chaos.hpp"
 
 namespace {
@@ -28,6 +29,8 @@ constexpr std::string_view kUsage =
     "  --stream        sweep streaming scenarios instead: multi-slot windowed\n"
     "                  streams with mid-stream faults, audited end to end\n"
     "                  (reproducers replay via pcmcast --stream)\n"
+    "  --json PATH     also write the report as the unified JSON envelope\n"
+    "                  (schema_version/engine/seed/jobs + summary table)\n"
     "  --quiet         only print the summary line\n"
     "  --help          this text\n";
 
@@ -49,6 +52,7 @@ int main(int argc, char** argv) {
   try {
     pcm::verify::ChaosConfig cfg;
     bool quiet = false;
+    std::string json_path;
     for (std::size_t i = 0; i < args.size(); ++i) {
       const std::string_view a = args[i];
       auto value = [&]() -> std::string_view {
@@ -76,6 +80,8 @@ int main(int argc, char** argv) {
           throw std::invalid_argument("pcmchaos: --minimize must be >= 0");
       } else if (a == "--stream") {
         cfg.streaming = true;
+      } else if (a == "--json") {
+        json_path = std::string(value());
       } else if (a == "--quiet") {
         quiet = true;
       } else {
@@ -97,6 +103,25 @@ int main(int argc, char** argv) {
                 << " stale acks, " << rep.failovers << " failovers, "
                 << rep.rejoins << " rejoins";
     std::cout << "\n";
+    if (!json_path.empty()) {
+      // Same report envelope as pcmcast/pcmlint/pcmtrace.
+      pcm::harness::JsonReport report("pcmchaos", cfg.jobs);
+      report.set_meta("engine", "cycle");  // run_scenario uses pcmcast defaults
+      report.set_meta("seed", std::to_string(cfg.seed));
+      report.set_meta("mode", cfg.streaming ? "stream" : "one-shot");
+      pcm::analysis::Table t({"scenarios", "violations", "watchdogs", "retries",
+                              "repairs", "dropped", "epochs", "failovers",
+                              "rejoins", "mean delivered"});
+      t.add_row({std::to_string(rep.scenarios), std::to_string(rep.violations),
+                 std::to_string(rep.watchdogs), std::to_string(rep.retries),
+                 std::to_string(rep.repairs), std::to_string(rep.dropped),
+                 std::to_string(rep.epochs), std::to_string(rep.failovers),
+                 std::to_string(rep.rejoins),
+                 pcm::analysis::Table::num(rep.mean_delivered, 4)});
+      report.add_table("summary", "", t);
+      report.write(json_path);
+      std::cout << "json: " << json_path << "\n";
+    }
     return rep.violations == 0 ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";

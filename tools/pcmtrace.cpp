@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "analysis/table.hpp"
+#include "harness/harness.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_event.hpp"
@@ -35,7 +36,7 @@ constexpr std::string_view kUsage =
     "usage: pcmtrace dump FILE [--msg M] [--channel R,P] [--cycle-range A:B]\n"
     "                          [--limit N]\n"
     "       pcmtrace diff A B [--ignore-ff]\n"
-    "       pcmtrace stats FILE\n"
+    "       pcmtrace stats FILE [--json PATH]\n"
     "\n"
     "  dump   print events oldest-first; filters compose (AND)\n"
     "         --msg M          events about message id M\n"
@@ -46,7 +47,9 @@ constexpr std::string_view kUsage =
     "         fast-forwarded flag (cycle vs event engine checks).\n"
     "         exit 0 identical, 1 different\n"
     "  stats  deterministic metrics derived from the trace (channel\n"
-    "         occupancy, span/retry histograms, commit rate)\n";
+    "         occupancy, span/retry histograms, commit rate)\n"
+    "         --json PATH      also write the metrics as the unified JSON\n"
+    "                          report envelope (schema_version/engine/...)\n";
 
 long long parse_ll(std::string_view flag, std::string_view v) {
   long long out = 0;
@@ -137,7 +140,7 @@ int run_diff(const std::string& a, const std::string& b, bool ignore_ff) {
   return 1;
 }
 
-int run_stats(const std::string& path) {
+int run_stats(const std::string& path, const std::string& json_path) {
   const pcm::obs::TraceFile tf = load(path);
   pcm::obs::MetricsRegistry reg;
   pcm::obs::populate_metrics(tf.events, reg);
@@ -145,6 +148,20 @@ int run_stats(const std::string& path) {
   for (const pcm::obs::MetricSample& s : reg.snapshot())
     t.add_row({s.name, s.value});
   std::cout << path << ": " << tf.events.size() << " events\n" << t.to_string();
+  if (!json_path.empty()) {
+    // Same envelope as every other tool (schema_version/engine/seed/jobs);
+    // the metrics derive from a recorded trace, so the engine is "trace"
+    // and the seed is whatever produced the trace (not recorded in PCMT —
+    // reported as 0).
+    pcm::harness::JsonReport report("pcmtrace", 1);
+    report.set_meta("engine", "trace");
+    report.set_meta("seed", "0");
+    report.set_meta("source", path);
+    report.set_meta("events", std::to_string(tf.events.size()));
+    report.add_table("stats", "", t);
+    report.write(json_path);
+    std::cout << "json: " << json_path << "\n";
+  }
   return 0;
 }
 
@@ -163,6 +180,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> pos;
     DumpFilter filt;
     bool ignore_ff = false;
+    std::string json_path;
     for (std::size_t i = 1; i < args.size(); ++i) {
       const std::string_view a = args[i];
       auto value = [&]() -> std::string_view {
@@ -195,6 +213,8 @@ int main(int argc, char** argv) {
         filt.limit = parse_ll(a, value());
       } else if (a == "--ignore-ff") {
         ignore_ff = true;
+      } else if (a == "--json") {
+        json_path = std::string(value());
       } else if (a.substr(0, 2) == "--") {
         throw std::invalid_argument("pcmtrace: unknown option " +
                                     std::string(a));
@@ -205,7 +225,7 @@ int main(int argc, char** argv) {
     if (cmd == "dump" && pos.size() == 1) return run_dump(pos[0], filt);
     if (cmd == "diff" && pos.size() == 2)
       return run_diff(pos[0], pos[1], ignore_ff);
-    if (cmd == "stats" && pos.size() == 1) return run_stats(pos[0]);
+    if (cmd == "stats" && pos.size() == 1) return run_stats(pos[0], json_path);
     std::cerr << kUsage;
     return 2;
   } catch (const std::exception& e) {
